@@ -1,0 +1,220 @@
+// Shared infrastructure for the experiment benches.
+//
+// Every bench binary regenerates one of the paper's tables or figures
+// (see DESIGN.md §4).  Each prints a paper-vs-measured table on stdout
+// and registers google-benchmark timings of the simulations themselves
+// (so the harness also tracks the *simulator's* wall-clock cost).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lynx/lynx.hpp"
+#include "sim/engine.hpp"
+#include "sim/stats.hpp"
+#include "sweep/sweep.hpp"
+
+namespace bench {
+
+// ---- worlds: one client/server pair per substrate -------------------------
+
+struct CharlotteWorld {
+  sim::Engine engine;
+  charlotte::Cluster cluster{engine, 4};
+  lynx::Process server{engine, "server",
+                       lynx::make_charlotte_backend(cluster, net::NodeId(0)),
+                       lynx::vax_runtime_costs()};
+  lynx::Process client{engine, "client",
+                       lynx::make_charlotte_backend(cluster, net::NodeId(1)),
+                       lynx::vax_runtime_costs()};
+  lynx::LinkHandle server_end;
+  lynx::LinkHandle client_end;
+
+  CharlotteWorld() { boot(); }
+
+  void boot() {
+    server.start();
+    client.start();
+    engine.spawn("wire", wire(this));
+    engine.run();
+  }
+  static sim::Task<> wire(CharlotteWorld* w) {
+    auto [se, ce] =
+        co_await lynx::CharlotteBackend::connect(w->server, w->client);
+    w->server_end = se;
+    w->client_end = ce;
+  }
+  [[nodiscard]] const lynx::CharlotteBackend::Stats& client_stats() {
+    return dynamic_cast<lynx::CharlotteBackend&>(client.backend()).stats();
+  }
+  [[nodiscard]] const lynx::CharlotteBackend::Stats& server_stats() {
+    return dynamic_cast<lynx::CharlotteBackend&>(server.backend()).stats();
+  }
+};
+
+struct ChrysalisWorld {
+  explicit ChrysalisWorld(double tuning_scale = 1.0,
+                          lynx::RuntimeCosts rc = lynx::mc68000_runtime_costs())
+      : kernel(engine, net::ButterflyParams{}, scaled_costs(tuning_scale)),
+        server(engine, "server",
+               lynx::make_chrysalis_backend(kernel, net::NodeId(0)),
+               scale_rc(rc, tuning_scale)),
+        client(engine, "client",
+               lynx::make_chrysalis_backend(kernel, net::NodeId(1)),
+               scale_rc(rc, tuning_scale)) {
+    boot();
+  }
+
+  static chrysalis::Costs scaled_costs(double s) {
+    chrysalis::Costs c;
+    auto f = [s](sim::Duration d) {
+      return static_cast<sim::Duration>(static_cast<double>(d) * s);
+    };
+    c.primitive_call = f(c.primitive_call);
+    c.event_post = f(c.event_post);
+    c.event_wait = f(c.event_wait);
+    c.dq_enqueue = f(c.dq_enqueue);
+    c.dq_dequeue = f(c.dq_dequeue);
+    return c;
+  }
+  static lynx::RuntimeCosts scale_rc(lynx::RuntimeCosts rc, double s) {
+    rc.per_operation =
+        static_cast<sim::Duration>(static_cast<double>(rc.per_operation) * s);
+    return rc;
+  }
+
+  sim::Engine engine;
+  chrysalis::Kernel kernel;
+  lynx::Process server;
+  lynx::Process client;
+  lynx::LinkHandle server_end;
+  lynx::LinkHandle client_end;
+
+  void boot() {
+    server.start();
+    client.start();
+    engine.spawn("wire", wire(this));
+    engine.run();
+  }
+  static sim::Task<> wire(ChrysalisWorld* w) {
+    auto [se, ce] =
+        co_await lynx::ChrysalisBackend::connect(w->server, w->client);
+    w->server_end = se;
+    w->client_end = ce;
+  }
+};
+
+struct SodaWorld {
+  explicit SodaWorld(lynx::SodaBackendParams bp = {})
+      : network(engine, 6, sim::Rng(2026), quiet_bus()),
+        server(engine, "server",
+               lynx::make_soda_backend(network, directory, net::NodeId(0), bp),
+               lynx::pdp11_runtime_costs()),
+        client(engine, "client",
+               lynx::make_soda_backend(network, directory, net::NodeId(1), bp),
+               lynx::pdp11_runtime_costs()) {
+    boot();
+  }
+  static net::CsmaBusParams quiet_bus() {
+    net::CsmaBusParams p;
+    p.broadcast_drop_prob = 0.0;
+    return p;
+  }
+
+  sim::Engine engine;
+  lynx::SodaDirectory directory;
+  soda::Network network;
+  lynx::Process server;
+  lynx::Process client;
+  lynx::LinkHandle server_end;
+  lynx::LinkHandle client_end;
+
+  void boot() {
+    server.start();
+    client.start();
+    engine.spawn("wire", wire(this));
+    engine.run();
+  }
+  static sim::Task<> wire(SodaWorld* w) {
+    auto [se, ce] = co_await lynx::SodaBackend::connect(w->server, w->client);
+    w->server_end = se;
+    w->client_end = ce;
+  }
+};
+
+// ---- the standard workload: N echo RPCs with a given payload ---------------
+
+inline sim::Task<> echo_server(lynx::ThreadCtx& ctx, lynx::LinkHandle link,
+                               int n) {
+  ctx.enable_requests(link);
+  for (int i = 0; i < n; ++i) {
+    lynx::Incoming in = co_await ctx.receive();
+    lynx::Message rep;
+    rep.args = in.msg.args;
+    co_await ctx.reply(in, std::move(rep));
+  }
+}
+
+inline sim::Task<> echo_client(lynx::ThreadCtx& ctx, lynx::LinkHandle link,
+                               int n, std::size_t bytes, sim::Time* t0,
+                               sim::Time* t1, sim::Engine* engine) {
+  {  // warm-up op excluded from timing
+    lynx::Message m = lynx::make_message("op", {lynx::Bytes(1, 0)});
+    (void)co_await ctx.call(link, std::move(m));
+  }
+  *t0 = engine->now();
+  for (int i = 0; i < n; ++i) {
+    lynx::Message m = lynx::make_message("op", {lynx::Bytes(bytes, 0)});
+    (void)co_await ctx.call(link, std::move(m));
+  }
+  *t1 = engine->now();
+}
+
+// Runs N echo RPCs on a world; returns mean simulated ms per operation.
+template <typename World>
+double lynx_rpc_ms(World& w, std::size_t bytes, int reps = 10) {
+  sim::Time t0 = 0, t1 = 0;
+  w.server.spawn_thread("srv", [&](lynx::ThreadCtx& ctx) {
+    return echo_server(ctx, w.server_end, reps + 1);
+  });
+  w.client.spawn_thread("cli", [&](lynx::ThreadCtx& ctx) {
+    return echo_client(ctx, w.client_end, reps, bytes, &t0, &t1, &w.engine);
+  });
+  w.engine.run();
+  RELYNX_ASSERT_MSG(w.engine.process_failures().empty(),
+                    "bench workload failed");
+  return sim::to_msec(t1 - t0) / reps;
+}
+
+// ---- table printing ----------------------------------------------------------
+
+inline void table_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+struct Row {
+  std::string label;
+  double paper;
+  double measured;
+  std::string unit;
+};
+
+inline void print_rows(const std::vector<Row>& rows) {
+  std::printf("%-44s %12s %12s  %s\n", "quantity", "paper", "measured",
+              "unit");
+  for (const Row& r : rows) {
+    std::printf("%-44s %12.2f %12.2f  %s\n", r.label.c_str(), r.paper,
+                r.measured, r.unit.c_str());
+  }
+}
+
+inline void print_note(const std::string& s) {
+  std::printf("  %s\n", s.c_str());
+}
+
+}  // namespace bench

@@ -1,0 +1,568 @@
+#include "charlotte/kernel.hpp"
+
+#include <algorithm>
+
+#include "net/token_ring.hpp"
+
+namespace charlotte {
+
+// ===================== Cluster =====================
+
+Cluster::Cluster(sim::Engine& engine, std::size_t nodes,
+                 net::TokenRingParams ring_params, Costs costs)
+    : engine_(&engine),
+      costs_(costs),
+      ring_(std::make_unique<net::TokenRing>(engine, ring_params)) {
+  kernels_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    kernels_.push_back(
+        std::make_unique<Kernel>(*this, net::NodeId(static_cast<std::uint32_t>(i))));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+Kernel& Cluster::kernel(net::NodeId node) {
+  RELYNX_ASSERT(node.value() < kernels_.size());
+  return *kernels_[node.value()];
+}
+
+Pid Cluster::create_process(net::NodeId node) {
+  const Pid pid = pids_.next();
+  process_node_.emplace(pid, node);
+  kernel(node).register_process(pid);
+  return pid;
+}
+
+Kernel& Cluster::kernel_of(Pid pid) { return kernel(node_of(pid)); }
+
+net::NodeId Cluster::node_of(Pid pid) const {
+  auto it = process_node_.find(pid);
+  RELYNX_ASSERT_MSG(it != process_node_.end(), "unknown pid");
+  return it->second;
+}
+
+void Cluster::terminate(Pid pid) { kernel_of(pid).terminate_process(pid); }
+
+LinkPair Cluster::bootstrap_link(Pid a, Pid b) {
+  const net::NodeId na = node_of(a);
+  const net::NodeId nb = node_of(b);
+  const LinkId link = new_link_id();
+  const EndId e1 = new_end();
+  const EndId e2 = new_end();
+  Kernel& ka = kernel(na);
+  Kernel& kb = kernel(nb);
+  ka.ends_.emplace(e1, Kernel::EndState{e1, link, e2, a, nb, na, false,
+                                        false, std::nullopt, std::nullopt,
+                                        {}, 0});
+  kb.ends_.emplace(e2, Kernel::EndState{e2, link, e1, b, na, na, false,
+                                        false, std::nullopt, std::nullopt,
+                                        {}, 0});
+  ka.homes_.emplace(link,
+                    Kernel::HomeRecord{link, Kernel::HomeEndInfo{e1, na, a},
+                                       Kernel::HomeEndInfo{e2, nb, b}, false});
+  return LinkPair{e1, e2};
+}
+
+std::uint64_t Cluster::total_frames() const {
+  std::uint64_t n = 0;
+  for (const auto& k : kernels_) n += k->frames_emitted();
+  return n;
+}
+
+std::uint64_t Cluster::total_move_frames() const {
+  std::uint64_t n = 0;
+  for (const auto& k : kernels_) n += k->move_protocol_frames();
+  return n;
+}
+
+// ===================== Kernel: plumbing =====================
+
+Kernel::Kernel(Cluster& cluster, net::NodeId node)
+    : cluster_(&cluster), node_(node) {
+  cluster_->ring().attach(node_, [this](const net::Frame& f) { on_frame(f); });
+}
+
+void Kernel::transmit(net::NodeId dst, wire::KernelFrame frame) {
+  ++frames_out_;
+  if (std::holds_alternative<wire::MoveUpdate>(frame) ||
+      std::holds_alternative<wire::PeerMoved>(frame) ||
+      std::holds_alternative<wire::MoveAck>(frame)) {
+    ++move_frames_;
+  }
+  const std::size_t bytes = wire::frame_bytes(frame);
+  if (dst == node_) {
+    // Home traffic for a locally-created link: no ring trip, but the
+    // kernel still does the protocol work.
+    cluster_->engine().schedule(
+        cluster_->costs().frame_processing,
+        [this, f = std::move(frame)] {
+          std::visit([this](const auto& m) { handle(m, node_); }, f);
+        });
+    return;
+  }
+  cluster_->ring().send(net::Frame{node_, dst, bytes, std::move(frame)});
+}
+
+void Kernel::on_frame(const net::Frame& frame) {
+  const auto& kf = frame.as<wire::KernelFrame>();
+  sim::Duration cost = cluster_->costs().frame_processing;
+  if (const auto* msg = std::get_if<wire::Msg>(&kf)) {
+    cost += cluster_->costs().per_byte_copy *
+            static_cast<sim::Duration>(msg->data.size());
+  }
+  cluster_->engine().schedule(cost, [this, kf, src = frame.src] {
+    std::visit([this, src](const auto& m) { handle(m, src); }, kf);
+  });
+}
+
+Kernel::EndState* Kernel::find_end(EndId id) {
+  auto it = ends_.find(id);
+  return it == ends_.end() ? nullptr : &it->second;
+}
+
+Status Kernel::validate_owned(Pid caller, EndId id, EndState** out) {
+  EndState* end = find_end(id);
+  if (end == nullptr) return Status::kNoSuchEnd;
+  if (end->owner != caller) return Status::kNotOwner;
+  *out = end;
+  return Status::kOk;
+}
+
+void Kernel::complete(Pid pid, Completion c) {
+  auto it = completions_.find(pid);
+  if (it == completions_.end()) return;  // process gone; drop silently
+  it->second->put(std::move(c));
+}
+
+void Kernel::register_process(Pid pid) {
+  processes_.insert(pid);
+  completions_.emplace(
+      pid, std::make_unique<sim::Mailbox<Completion>>(cluster_->engine()));
+}
+
+// ===================== Kernel calls =====================
+
+sim::Task<common::Result<LinkPair, Status>> Kernel::make_link(Pid caller) {
+  co_await cluster_->engine().sleep(cluster_->costs().call_overhead);
+  if (!processes_.contains(caller)) {
+    co_return common::Err(Status::kNoSuchEnd);
+  }
+  const LinkId link = cluster_->new_link_id();
+  const EndId e1 = cluster_->new_end();
+  const EndId e2 = cluster_->new_end();
+  EndState s1{e1, link, e2, caller, node_, node_, false, false,
+              std::nullopt, std::nullopt, {}, 0};
+  EndState s2{e2, link, e1, caller, node_, node_, false, false,
+              std::nullopt, std::nullopt, {}, 0};
+  ends_.emplace(e1, std::move(s1));
+  ends_.emplace(e2, std::move(s2));
+  homes_.emplace(link, HomeRecord{link,
+                                  HomeEndInfo{e1, node_, caller},
+                                  HomeEndInfo{e2, node_, caller}, false});
+  co_return LinkPair{e1, e2};
+}
+
+sim::Task<Status> Kernel::send(Pid caller, EndId end_id, Payload data,
+                               EndId enclosure) {
+  EndState* end = nullptr;
+  if (Status st = validate_owned(caller, end_id, &end); st != Status::kOk) {
+    co_await cluster_->engine().sleep(cluster_->costs().call_overhead);
+    co_return st;
+  }
+  if (end->destroyed) {
+    co_await cluster_->engine().sleep(cluster_->costs().call_overhead);
+    co_return Status::kLinkDestroyed;
+  }
+  if (end->in_transit) {
+    co_await cluster_->engine().sleep(cluster_->costs().call_overhead);
+    co_return Status::kEndInTransit;
+  }
+  if (end->send.has_value()) {
+    co_await cluster_->engine().sleep(cluster_->costs().call_overhead);
+    co_return Status::kActivityPending;
+  }
+
+  bool has_enclosure = false;
+  wire::EnclosureDesc desc{};
+  if (enclosure.valid()) {
+    EndState* enc = nullptr;
+    if (Status st = validate_owned(caller, enclosure, &enc);
+        st != Status::kOk || enc->destroyed || enc->in_transit ||
+        enc->send.has_value() || enc->recv.has_value() ||
+        enclosure == end_id || enclosure == end->peer) {
+      co_await cluster_->engine().sleep(cluster_->costs().call_overhead);
+      co_return Status::kBadEnclosure;
+    }
+    has_enclosure = true;
+    desc = wire::EnclosureDesc{enc->id, enc->link, enc->peer, enc->peer_node,
+                               enc->home};
+    enc->in_transit = true;
+  }
+
+  const std::uint64_t seq = next_seq_++;
+  wire::Msg msg{seq, end_id, end->peer, std::move(data), has_enclosure, desc};
+  const std::size_t len = msg.data.size();
+  end->send = SendActivity{msg, has_enclosure ? desc.end : EndId::invalid(),
+                           false};
+  const net::NodeId dst = end->peer_node;
+
+  const Costs& costs = cluster_->costs();
+  sim::Duration cost = costs.call_overhead + costs.frame_processing +
+                       costs.per_byte_copy * static_cast<sim::Duration>(len);
+  if (has_enclosure) cost += costs.enclosure_processing;
+  co_await cluster_->engine().sleep(cost);
+  transmit(dst, std::move(msg));
+  co_return Status::kOk;
+}
+
+sim::Task<Status> Kernel::receive(Pid caller, EndId end_id,
+                                  std::size_t max_len) {
+  co_await cluster_->engine().sleep(cluster_->costs().call_overhead);
+  EndState* end = nullptr;
+  if (Status st = validate_owned(caller, end_id, &end); st != Status::kOk) {
+    co_return st;
+  }
+  if (end->destroyed) co_return Status::kLinkDestroyed;
+  if (end->in_transit) co_return Status::kEndInTransit;
+  if (end->recv.has_value()) co_return Status::kActivityPending;
+  end->recv = RecvActivity{max_len};
+  deliver_pending(*end);
+  co_return Status::kOk;
+}
+
+sim::Task<Status> Kernel::cancel(Pid caller, EndId end_id,
+                                 Direction direction) {
+  co_await cluster_->engine().sleep(cluster_->costs().call_overhead);
+  EndState* end = nullptr;
+  if (Status st = validate_owned(caller, end_id, &end); st != Status::kOk) {
+    co_return st;
+  }
+  if (direction == Direction::kReceive) {
+    if (end->recv.has_value()) {
+      end->recv.reset();
+      co_return Status::kOk;
+    }
+    if (end->unwaited_recv_completions > 0) co_return Status::kCancelTooLate;
+    co_return Status::kNoActivity;
+  }
+  // Direction::kSend: race the delivery.
+  if (!end->send.has_value()) co_return Status::kNoActivity;
+  if (end->send->cancel_requested) co_return Status::kActivityPending;
+  end->send->cancel_requested = true;
+  transmit(end->peer_node,
+           wire::CancelReq{end->send->msg.seq, end_id, end->peer});
+  co_return Status::kOk;
+}
+
+sim::Task<Status> Kernel::destroy(Pid caller, EndId end_id) {
+  co_await cluster_->engine().sleep(cluster_->costs().call_overhead);
+  EndState* end = nullptr;
+  if (Status st = validate_owned(caller, end_id, &end); st != Status::kOk) {
+    co_return st;
+  }
+  if (end->destroyed) co_return Status::kLinkDestroyed;
+  begin_destroy(*end);
+  co_return Status::kOk;
+}
+
+void Kernel::begin_destroy(EndState& end) {
+  end.destroyed = true;
+  fail_end_activities(end, Status::kLinkDestroyed);
+  transmit(end.home, wire::DestroyUpdate{end.link, end.id});
+}
+
+sim::Task<Completion> Kernel::wait(Pid caller) {
+  co_await cluster_->engine().sleep(cluster_->costs().call_overhead);
+  auto it = completions_.find(caller);
+  if (it == completions_.end()) {
+    // Process terminated while (or just before) waiting: hand back a
+    // poison completion (invalid end) so run-time pumps can stop.
+    co_return Completion{};
+  }
+  Completion c = co_await it->second->get();
+  if (c.direction == Direction::kReceive) {
+    if (EndState* end = find_end(c.end);
+        end != nullptr && end->unwaited_recv_completions > 0) {
+      --end->unwaited_recv_completions;
+    }
+  }
+  co_return c;
+}
+
+bool Kernel::completion_ready(Pid caller) {
+  auto it = completions_.find(caller);
+  return it != completions_.end() && !it->second->empty();
+}
+
+void Kernel::terminate_process(Pid pid) {
+  if (!processes_.contains(pid)) return;
+  std::vector<EndId> owned;
+  for (auto& [id, end] : ends_) {
+    if (end.owner == pid && !end.destroyed) owned.push_back(id);
+  }
+  for (EndId id : owned) {
+    if (EndState* end = find_end(id)) begin_destroy(*end);
+  }
+  processes_.erase(pid);
+  completions_.erase(pid);
+}
+
+// ===================== delivery =====================
+
+void Kernel::deliver_pending(EndState& end) {
+  if (!end.recv.has_value() || end.pending.empty()) return;
+  PendingMsg pm = std::move(end.pending.front());
+  end.pending.pop_front();
+  const std::size_t len = std::min(end.recv->max_len, pm.msg.data.size());
+  end.recv.reset();
+
+  Completion c;
+  c.end = end.id;
+  c.direction = Direction::kReceive;
+  c.status = Status::kOk;
+  c.length = len;
+  c.data.assign(pm.msg.data.begin(),
+                pm.msg.data.begin() + static_cast<std::ptrdiff_t>(len));
+
+  sim::Duration cost = cluster_->costs().per_byte_copy *
+                       static_cast<sim::Duration>(len);
+  if (pm.msg.has_enclosure) {
+    const wire::EnclosureDesc& desc = pm.msg.enclosure;
+    // Install the moved end locally and tell the home.
+    EndState moved{desc.end, desc.link, desc.peer, end.owner, desc.peer_node,
+                   desc.home, false, false, std::nullopt, std::nullopt,
+                   {}, 0};
+    ends_.emplace(desc.end, std::move(moved));
+    transmit(desc.home, wire::MoveUpdate{next_move_seq_++, desc.link,
+                                         desc.end, node_, end.owner});
+    c.enclosure = desc.end;
+    cost += cluster_->costs().enclosure_processing;
+  }
+  ++end.unwaited_recv_completions;
+
+  const Pid owner = end.owner;
+  const net::NodeId ack_to = pm.from_node;
+  const wire::MsgAck ack{pm.msg.seq, pm.msg.from_end, len};
+  cluster_->engine().schedule(cost, [this, owner, c = std::move(c), ack,
+                                     ack_to] {
+    complete(owner, c);
+    transmit(ack_to, ack);
+  });
+}
+
+void Kernel::fail_end_activities(EndState& end, Status status) {
+  if (end.send.has_value()) {
+    Completion c;
+    c.end = end.id;
+    c.direction = Direction::kSend;
+    c.status = status;
+    // A failed send never moved its enclosure; give it back.
+    if (end.send->enclosure.valid()) {
+      if (EndState* enc = find_end(end.send->enclosure)) {
+        enc->in_transit = false;
+      }
+    }
+    end.send.reset();
+    complete(end.owner, c);
+  }
+  if (end.recv.has_value()) {
+    Completion c;
+    c.end = end.id;
+    c.direction = Direction::kReceive;
+    c.status = status;
+    end.recv.reset();
+    ++end.unwaited_recv_completions;
+    complete(end.owner, c);
+  }
+  // Pending undelivered messages: bounce to their senders.
+  while (!end.pending.empty()) {
+    PendingMsg pm = std::move(end.pending.front());
+    end.pending.pop_front();
+    transmit(pm.from_node,
+             wire::MsgNackDestroyed{pm.msg.seq, pm.msg.from_end});
+  }
+}
+
+// ===================== frame handlers =====================
+
+void Kernel::handle(const wire::Msg& m, net::NodeId from) {
+  EndState* end = find_end(m.to_end);
+  if (end == nullptr) {
+    if (auto it = forwarded_.find(m.to_end); it != forwarded_.end()) {
+      transmit(from,
+               wire::MsgNackMoved{m.seq, m.from_end, m.to_end, it->second});
+    } else {
+      transmit(from, wire::MsgNackDestroyed{m.seq, m.from_end});
+    }
+    return;
+  }
+  if (end->destroyed) {
+    transmit(from, wire::MsgNackDestroyed{m.seq, m.from_end});
+    return;
+  }
+  end->pending.push_back(PendingMsg{m, from});
+  deliver_pending(*end);
+}
+
+void Kernel::handle(const wire::MsgAck& m, net::NodeId from) {
+  EndState* end = find_end(m.to_end);
+  if (end == nullptr || !end->send.has_value() ||
+      end->send->msg.seq != m.seq) {
+    return;  // stale ack (e.g. the send was failed by a LinkDown race)
+  }
+  const EndId enclosure = end->send->enclosure;
+  end->send.reset();
+  Completion c;
+  c.end = end->id;
+  c.direction = Direction::kSend;
+  c.status = Status::kOk;
+  c.length = m.delivered_len;
+  complete(end->owner, c);
+
+  if (enclosure.valid()) {
+    // The enclosure now lives at the receiver: retire the local record,
+    // leave a tombstone, bounce anything that was parked on it.
+    if (EndState* enc = find_end(enclosure)) {
+      while (!enc->pending.empty()) {
+        PendingMsg pm = std::move(enc->pending.front());
+        enc->pending.pop_front();
+        transmit(pm.from_node, wire::MsgNackMoved{pm.msg.seq, pm.msg.from_end,
+                                                  enclosure, from});
+      }
+      ends_.erase(enclosure);
+    }
+    forwarded_[enclosure] = from;
+  }
+}
+
+void Kernel::handle(const wire::MsgNackMoved& m, net::NodeId /*from*/) {
+  EndState* end = find_end(m.to_end);
+  if (end == nullptr || !end->send.has_value() ||
+      end->send->msg.seq != m.seq) {
+    return;
+  }
+  end->peer_node = m.new_node;
+  ++retransmits_;
+  const Costs& costs = cluster_->costs();
+  const sim::Duration cost =
+      costs.frame_processing +
+      costs.per_byte_copy *
+          static_cast<sim::Duration>(end->send->msg.data.size());
+  cluster_->engine().schedule(
+      cost, [this, msg = end->send->msg, dst = m.new_node] {
+        transmit(dst, msg);
+      });
+}
+
+void Kernel::handle(const wire::MsgNackDestroyed& m, net::NodeId /*from*/) {
+  EndState* end = find_end(m.to_end);
+  if (end == nullptr || !end->send.has_value() ||
+      end->send->msg.seq != m.seq) {
+    return;
+  }
+  end->destroyed = true;
+  fail_end_activities(*end, Status::kLinkDestroyed);
+}
+
+void Kernel::handle(const wire::CancelReq& m, net::NodeId from) {
+  EndState* end = find_end(m.to_end);
+  bool revoked = false;
+  if (end != nullptr) {
+    auto it = std::find_if(
+        end->pending.begin(), end->pending.end(),
+        [&](const PendingMsg& pm) { return pm.msg.seq == m.seq; });
+    if (it != end->pending.end()) {
+      end->pending.erase(it);
+      revoked = true;
+    }
+  }
+  transmit(from, wire::CancelReply{m.seq, m.from_end, revoked});
+}
+
+void Kernel::handle(const wire::CancelReply& m, net::NodeId /*from*/) {
+  if (!m.revoked) return;  // delivery won the race; MsgAck settles it
+  EndState* end = find_end(m.to_end);
+  if (end == nullptr || !end->send.has_value() ||
+      end->send->msg.seq != m.seq) {
+    return;
+  }
+  if (end->send->enclosure.valid()) {
+    if (EndState* enc = find_end(end->send->enclosure)) {
+      enc->in_transit = false;
+    }
+  }
+  end->send.reset();
+  Completion c;
+  c.end = end->id;
+  c.direction = Direction::kSend;
+  c.status = Status::kCancelled;
+  complete(end->owner, c);
+}
+
+void Kernel::handle(const wire::MoveUpdate& m, net::NodeId from) {
+  auto it = homes_.find(m.link);
+  RELYNX_ASSERT_MSG(it != homes_.end(), "MoveUpdate at non-home kernel");
+  HomeRecord& rec = it->second;
+  if (rec.destroyed) {
+    transmit(from, wire::MoveAck{m.move_seq, m.end, true, net::NodeId()});
+    return;
+  }
+  HomeEndInfo& moved = (rec.a.end == m.end) ? rec.a : rec.b;
+  HomeEndInfo& fixed = (rec.a.end == m.end) ? rec.b : rec.a;
+  RELYNX_ASSERT(moved.end == m.end);
+  moved.node = m.new_node;
+  moved.owner = m.new_owner;
+  transmit(fixed.node, wire::PeerMoved{m.link, fixed.end, m.new_node});
+  transmit(from, wire::MoveAck{m.move_seq, m.end, false, fixed.node});
+}
+
+void Kernel::handle(const wire::PeerMoved& m, net::NodeId from) {
+  EndState* end = find_end(m.end);
+  if (end == nullptr) {
+    // The informed end itself moved meanwhile; chase it.
+    if (auto it = forwarded_.find(m.end); it != forwarded_.end()) {
+      transmit(it->second, m);
+    }
+    return;
+  }
+  (void)from;
+  end->peer_node = m.peer_node;
+}
+
+void Kernel::handle(const wire::MoveAck& m, net::NodeId /*from*/) {
+  EndState* end = find_end(m.end);
+  if (end == nullptr) return;
+  if (m.link_destroyed) {
+    end->destroyed = true;
+    fail_end_activities(*end, Status::kLinkDestroyed);
+    return;
+  }
+  end->peer_node = m.peer_node;
+  deliver_pending(*end);
+}
+
+void Kernel::handle(const wire::DestroyUpdate& m, net::NodeId /*from*/) {
+  auto it = homes_.find(m.link);
+  RELYNX_ASSERT_MSG(it != homes_.end(), "DestroyUpdate at non-home kernel");
+  HomeRecord& rec = it->second;
+  if (rec.destroyed) return;
+  rec.destroyed = true;
+  transmit(rec.a.node, wire::LinkDown{m.link, rec.a.end});
+  transmit(rec.b.node, wire::LinkDown{m.link, rec.b.end});
+}
+
+void Kernel::handle(const wire::LinkDown& m, net::NodeId /*from*/) {
+  EndState* end = find_end(m.end);
+  if (end == nullptr) {
+    if (auto it = forwarded_.find(m.end); it != forwarded_.end()) {
+      transmit(it->second, m);
+    }
+    return;
+  }
+  if (end->destroyed) return;  // we initiated; already failed locally
+  end->destroyed = true;
+  fail_end_activities(*end, Status::kLinkDestroyed);
+}
+
+}  // namespace charlotte

@@ -1,0 +1,211 @@
+// The simulated Charlotte kernel (paper §3.1).
+//
+// One Kernel instance per Crystal node, all attached to a shared token
+// ring.  User code (simulated processes) makes kernel calls as
+// awaitable coroutines; every call charges the cost model, and all
+// inter-node work travels as wire::KernelFrame traffic on the ring.
+//
+// Semantics reproduced from the paper:
+//   * duplex links, one process per end;
+//   * MakeLink / Destroy / Send / Receive / Cancel / Wait;
+//   * at most one outstanding activity per direction per end;
+//   * at most one enclosure per Send;
+//   * completions reported only through Wait;
+//   * Cancel of a Receive fails once a message has arrived;
+//   * Cancel of a Send races the delivery and may lose;
+//   * destroying a link (or a process) fails the other side's
+//     activities with a distinguishable status;
+//   * link location is *absolute*: every move runs a three-party
+//     agreement through the link's home kernel (see wire.hpp).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "charlotte/types.hpp"
+#include "charlotte/wire.hpp"
+#include "common/result.hpp"
+#include "net/packet.hpp"
+#include "net/token_ring.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace charlotte {
+
+class Cluster;
+
+// Per-node kernel.
+class Kernel {
+ public:
+  Kernel(Cluster& cluster, net::NodeId node);
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+
+  // ---- kernel calls (invoked by local processes) ---------------------
+  // Bounded-time calls still charge simulated CPU, hence Task-returning.
+  [[nodiscard]] sim::Task<common::Result<LinkPair, Status>> make_link(
+      Pid caller);
+  [[nodiscard]] sim::Task<Status> send(Pid caller, EndId end, Payload data,
+                                       EndId enclosure = EndId::invalid());
+  [[nodiscard]] sim::Task<Status> receive(Pid caller, EndId end,
+                                          std::size_t max_len);
+  [[nodiscard]] sim::Task<Status> cancel(Pid caller, EndId end,
+                                         Direction direction);
+  [[nodiscard]] sim::Task<Status> destroy(Pid caller, EndId end);
+  // Blocks until an activity of `caller` completes.
+  [[nodiscard]] sim::Task<Completion> wait(Pid caller);
+
+  // Non-blocking poll used by tests.
+  [[nodiscard]] bool completion_ready(Pid caller);
+
+  // Posts a synthetic completion to a process's Wait queue.  Used by
+  // language run-time packages to wake their own kernel-wait pump (e.g.
+  // at process shutdown); not a Charlotte call.
+  void inject_completion(Pid pid, Completion c) { complete(pid, std::move(c)); }
+
+  // ---- process lifecycle ---------------------------------------------
+  void register_process(Pid pid);
+  // Destroys all links attached to the process (normal exit and crash
+  // look identical to peers, per the paper's requirement).
+  void terminate_process(Pid pid);
+  [[nodiscard]] bool process_alive(Pid pid) const {
+    return processes_.contains(pid);
+  }
+
+  // ---- instrumentation -------------------------------------------------
+  [[nodiscard]] std::uint64_t frames_emitted() const { return frames_out_; }
+  [[nodiscard]] std::uint64_t move_protocol_frames() const {
+    return move_frames_;
+  }
+  [[nodiscard]] std::uint64_t nack_retransmits() const { return retransmits_; }
+
+ private:
+  friend class Cluster;
+
+  struct SendActivity {
+    wire::Msg msg;  // retained whole for NACK-driven retransmission
+    EndId enclosure = EndId::invalid();
+    bool cancel_requested = false;
+  };
+  struct RecvActivity {
+    std::size_t max_len = 0;
+  };
+  struct PendingMsg {
+    wire::Msg msg;
+    net::NodeId from_node;
+  };
+  struct EndState {
+    EndId id;
+    LinkId link;
+    EndId peer;
+    Pid owner;
+    net::NodeId peer_node;  // kept authoritative by the home protocol
+    net::NodeId home;
+    bool destroyed = false;
+    bool in_transit = false;  // enclosed in an unacked outgoing Msg
+    std::optional<SendActivity> send;
+    std::optional<RecvActivity> recv;
+    std::deque<PendingMsg> pending;
+    int unwaited_recv_completions = 0;
+  };
+  struct HomeEndInfo {
+    EndId end;
+    net::NodeId node;
+    Pid owner;
+  };
+  struct HomeRecord {
+    LinkId link;
+    HomeEndInfo a;
+    HomeEndInfo b;
+    bool destroyed = false;
+  };
+
+  // frame handling
+  void on_frame(const net::Frame& frame);
+  void handle(const wire::Msg& m, net::NodeId from);
+  void handle(const wire::MsgAck& m, net::NodeId from);
+  void handle(const wire::MsgNackMoved& m, net::NodeId from);
+  void handle(const wire::MsgNackDestroyed& m, net::NodeId from);
+  void handle(const wire::CancelReq& m, net::NodeId from);
+  void handle(const wire::CancelReply& m, net::NodeId from);
+  void handle(const wire::MoveUpdate& m, net::NodeId from);
+  void handle(const wire::PeerMoved& m, net::NodeId from);
+  void handle(const wire::MoveAck& m, net::NodeId from);
+  void handle(const wire::DestroyUpdate& m, net::NodeId from);
+  void handle(const wire::LinkDown& m, net::NodeId from);
+
+  void transmit(net::NodeId dst, wire::KernelFrame frame);
+  void deliver_pending(EndState& end);
+  void complete(Pid pid, Completion c);
+  void fail_end_activities(EndState& end, Status status);
+  void begin_destroy(EndState& end);
+  [[nodiscard]] EndState* find_end(EndId id);
+  [[nodiscard]] Status validate_owned(Pid caller, EndId id, EndState** out);
+
+  Cluster* cluster_;
+  net::NodeId node_;
+  std::unordered_map<EndId, EndState> ends_;
+  std::unordered_map<LinkId, HomeRecord> homes_;
+  std::unordered_map<EndId, net::NodeId> forwarded_;  // tombstones
+  std::unordered_set<Pid> processes_;
+  std::unordered_map<Pid, std::unique_ptr<sim::Mailbox<Completion>>>
+      completions_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_move_seq_ = 1;
+  std::uint64_t frames_out_ = 0;
+  std::uint64_t move_frames_ = 0;
+  std::uint64_t retransmits_ = 0;
+};
+
+// A Crystal: N nodes running Charlotte on a token ring.
+class Cluster {
+ public:
+  Cluster(sim::Engine& engine, std::size_t nodes,
+          net::TokenRingParams ring_params = {}, Costs costs = {});
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+  ~Cluster();
+
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] const Costs& costs() const { return costs_; }
+  [[nodiscard]] net::TokenRing& ring() { return *ring_; }
+  [[nodiscard]] std::size_t node_count() const { return kernels_.size(); }
+
+  [[nodiscard]] Kernel& kernel(net::NodeId node);
+  [[nodiscard]] Pid create_process(net::NodeId node);
+  [[nodiscard]] Kernel& kernel_of(Pid pid);
+  [[nodiscard]] net::NodeId node_of(Pid pid) const;
+  void terminate(Pid pid);  // normal exit or injected crash
+
+  // Loader fiat: creates a link with end1 owned by `a` and end2 owned by
+  // `b`, as the Crystal loader did when wiring freshly loaded processes
+  // to each other and to long-lived servers.  No protocol traffic and no
+  // cost; use before (or outside) timed regions.
+  [[nodiscard]] LinkPair bootstrap_link(Pid a, Pid b);
+
+  // Total protocol frames (all kernels) — experiment E2/E9 counters.
+  [[nodiscard]] std::uint64_t total_frames() const;
+  [[nodiscard]] std::uint64_t total_move_frames() const;
+
+ private:
+  friend class Kernel;
+  [[nodiscard]] EndId new_end() { return end_ids_.next(); }
+  [[nodiscard]] LinkId new_link_id() { return link_ids_.next(); }
+
+  sim::Engine* engine_;
+  Costs costs_;
+  std::unique_ptr<net::TokenRing> ring_;
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+  std::unordered_map<Pid, net::NodeId> process_node_;
+  common::IdAllocator<EndId> end_ids_;
+  common::IdAllocator<LinkId> link_ids_;
+  common::IdAllocator<Pid> pids_;
+};
+
+}  // namespace charlotte

@@ -1,0 +1,99 @@
+// Charlotte kernel interface types (paper §3.1).
+//
+// Charlotte provides duplex links with a single process at each end, and
+// six kernel calls: MakeLink, Destroy, Send, Receive, Cancel, Wait.  All
+// calls return a status; all but Wait complete in bounded time; Wait
+// blocks until some activity completes and returns its description.
+// The kernel allows ONE outstanding activity per direction per link end,
+// and a Send may enclose at most one link end.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/strong_id.hpp"
+#include "host/process.hpp"
+#include "sim/time.hpp"
+
+namespace charlotte {
+
+using host::Pid;
+
+struct EndTag {
+  static const char* prefix() { return "end"; }
+};
+// A link end; EndIds are global and survive moves (the end keeps its
+// identity when it changes owner).
+using EndId = common::StrongId<EndTag>;
+
+struct LinkTag {
+  static const char* prefix() { return "link"; }
+};
+using LinkId = common::StrongId<LinkTag>;
+
+using Payload = std::vector<std::uint8_t>;
+
+enum class Status : std::uint8_t {
+  kOk,
+  kNoSuchEnd,        // invalid or foreign end handle
+  kNotOwner,         // end exists but belongs to another process
+  kActivityPending,  // an activity in that direction is already posted
+  kNoActivity,       // Cancel with nothing to cancel
+  kCancelTooLate,    // the activity already matched
+  kLinkDestroyed,    // other end (or this one) was destroyed
+  kEndInTransit,     // end is currently enclosed in an unacked message
+  kBadEnclosure,     // enclosure invalid / busy / equal to carrier end
+  kCancelled,        // activity revoked by a successful Cancel
+};
+
+[[nodiscard]] constexpr const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNoSuchEnd: return "no-such-end";
+    case Status::kNotOwner: return "not-owner";
+    case Status::kActivityPending: return "activity-pending";
+    case Status::kNoActivity: return "no-activity";
+    case Status::kCancelTooLate: return "cancel-too-late";
+    case Status::kLinkDestroyed: return "link-destroyed";
+    case Status::kEndInTransit: return "end-in-transit";
+    case Status::kBadEnclosure: return "bad-enclosure";
+    case Status::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+enum class Direction : std::uint8_t { kSend, kReceive };
+
+// What Wait returns: "link end, direction, length, enclosure" plus a
+// status (completions can report failure, e.g. a destroyed link).
+struct Completion {
+  EndId end;
+  Direction direction = Direction::kSend;
+  Status status = Status::kOk;
+  std::size_t length = 0;
+  EndId enclosure = EndId::invalid();  // received enclosure, if any
+  Payload data;                        // delivered bytes (receive side)
+};
+
+struct LinkPair {
+  EndId end1;
+  EndId end2;
+};
+
+// Cost model, nominally a VAX 11/750 running the (deliberately
+// unoptimized) Charlotte kernel.  Calibrated so that a null
+// kernel-level RPC round trip lands near the paper's 55 ms and a
+// 1000-byte-each-way RPC near 60 ms (§3.3).
+struct Costs {
+  // user->kernel trap, validation, activity bookkeeping (each call)
+  sim::Duration call_overhead = sim::msec(9);
+  // kernel work to emit / absorb one ring frame
+  sim::Duration frame_processing = sim::msec(9);
+  // per-byte copy between user buffer and kernel frame (each crossing)
+  sim::Duration per_byte_copy = sim::nsec(900);
+  // extra kernel work when a frame carries an enclosure (move protocol
+  // bookkeeping on each involved kernel)
+  sim::Duration enclosure_processing = sim::msec(2);
+};
+
+}  // namespace charlotte

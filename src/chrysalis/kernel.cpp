@@ -1,0 +1,429 @@
+#include "chrysalis/kernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace chrysalis {
+
+Kernel::Kernel(sim::Engine& engine, net::ButterflyParams fabric, Costs costs)
+    : engine_(&engine), costs_(costs), fabric_(fabric) {}
+
+// ===================== processes =====================
+
+Pid Kernel::create_process(net::NodeId node) {
+  const Pid pid = pids_.next();
+  procs_.emplace(pid, host::ProcessInfo{pid, node, true});
+  return pid;
+}
+
+net::NodeId Kernel::node_of(Pid pid) const {
+  auto it = procs_.find(pid);
+  RELYNX_ASSERT_MSG(it != procs_.end(), "node_of unknown pid");
+  return it->second.node;
+}
+
+void Kernel::set_termination_handler(Pid pid, std::function<void()> handler) {
+  term_handlers_[pid] = std::move(handler);
+}
+
+void Kernel::terminate(Pid pid) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) return;
+  // Run the catch-and-clean-up handler first (paper: "even erroneous
+  // processes can clean up their links before going away").
+  if (auto h = term_handlers_.find(pid); h != term_handlers_.end()) {
+    auto handler = std::move(h->second);
+    term_handlers_.erase(h);
+    handler();
+  }
+  // Drop all this process's mappings; reclaim released objects.
+  // (Collect first: reaping erases from objects_ while we walk it.)
+  std::vector<MemId> touched;
+  for (auto& [id, obj] : objects_) {
+    if (obj.mapped_by.erase(pid) > 0) touched.push_back(id);
+  }
+  for (MemId id : touched) {
+    if (Object* obj = find_object(id)) reap_object_if_dead(*obj);
+  }
+  // The kernel reclaims orphaned waiters lazily; an event owned by a dead
+  // process simply never delivers (no processor-failure detection).
+  procs_.erase(it);
+}
+
+bool Kernel::is_remote(Pid caller, net::NodeId home) const {
+  return node_of(caller) != home;
+}
+
+// ===================== memory objects =====================
+
+Kernel::Object* Kernel::find_object(MemId id) {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+Status Kernel::check_access(Pid caller, MemId id, std::size_t offset,
+                            std::size_t len, Object** out) {
+  if (!procs_.contains(caller)) return Status::kProcessDead;
+  Object* obj = find_object(id);
+  if (obj == nullptr) return Status::kDeallocated;
+  if (!obj->mapped_by.contains(caller)) return Status::kNotMapped;
+  if (offset + len > obj->bytes.size()) return Status::kBadOffset;
+  *out = obj;
+  return Status::kOk;
+}
+
+sim::Duration Kernel::access_cost(Pid caller, const Object& obj,
+                                  sim::Duration base) const {
+  const bool remote = is_remote(caller, obj.home);
+  return base + fabric_.word_reference(remote) -
+         fabric_.word_reference(false);
+}
+
+void Kernel::reap_object_if_dead(Object& obj) {
+  if (obj.release_pending && obj.mapped_by.empty()) {
+    objects_.erase(obj.id);
+  }
+}
+
+sim::Task<Result<MemId>> Kernel::make_object(Pid caller, std::size_t size) {
+  ++ops_;
+  co_await engine_->sleep(costs_.primitive_call + costs_.make_object);
+  if (!procs_.contains(caller)) co_return common::Err(Status::kProcessDead);
+  const MemId id = mem_ids_.next();
+  Object obj;
+  obj.id = id;
+  obj.home = node_of(caller);  // allocated on the caller's memory board
+  obj.bytes.assign(size, 0);
+  obj.mapped_by.insert(caller);  // creator starts mapped
+  objects_.emplace(id, std::move(obj));
+  co_return id;
+}
+
+sim::Task<Status> Kernel::map(Pid caller, MemId id) {
+  ++ops_;
+  co_await engine_->sleep(costs_.primitive_call + costs_.map_object);
+  if (!procs_.contains(caller)) co_return Status::kProcessDead;
+  Object* obj = find_object(id);
+  if (obj == nullptr) co_return Status::kDeallocated;
+  obj->mapped_by.insert(caller);
+  co_return Status::kOk;
+}
+
+sim::Task<Status> Kernel::unmap(Pid caller, MemId id) {
+  ++ops_;
+  co_await engine_->sleep(costs_.primitive_call + costs_.unmap_object);
+  Object* obj = find_object(id);
+  if (obj == nullptr) co_return Status::kDeallocated;
+  if (obj->mapped_by.erase(caller) == 0) co_return Status::kNotMapped;
+  reap_object_if_dead(*obj);
+  co_return Status::kOk;
+}
+
+void Kernel::release_when_unreferenced(MemId id) {
+  Object* obj = find_object(id);
+  if (obj == nullptr) return;
+  obj->release_pending = true;
+  reap_object_if_dead(*obj);
+}
+
+sim::Task<Result<std::uint16_t>> Kernel::read16(Pid caller, MemId id,
+                                                std::size_t offset) {
+  ++ops_;
+  Object* obj = nullptr;
+  if (Status st = check_access(caller, id, offset, 2, &obj);
+      st != Status::kOk) {
+    co_await engine_->sleep(costs_.primitive_call);
+    co_return common::Err(st);
+  }
+  if (is_remote(caller, obj->home)) ++remote_;
+  co_await engine_->sleep(access_cost(caller, *obj, costs_.atomic16));
+  obj = find_object(id);
+  if (obj == nullptr) co_return common::Err(Status::kDeallocated);
+  std::uint16_t v;
+  std::memcpy(&v, obj->bytes.data() + offset, 2);
+  co_return v;
+}
+
+sim::Task<Status> Kernel::write16(Pid caller, MemId id, std::size_t offset,
+                                  std::uint16_t value) {
+  ++ops_;
+  Object* obj = nullptr;
+  if (Status st = check_access(caller, id, offset, 2, &obj);
+      st != Status::kOk) {
+    co_await engine_->sleep(costs_.primitive_call);
+    co_return st;
+  }
+  if (is_remote(caller, obj->home)) ++remote_;
+  co_await engine_->sleep(access_cost(caller, *obj, costs_.atomic16));
+  obj = find_object(id);
+  if (obj == nullptr) co_return Status::kDeallocated;
+  std::memcpy(obj->bytes.data() + offset, &value, 2);
+  co_return Status::kOk;
+}
+
+sim::Task<Result<std::uint16_t>> Kernel::fetch_or16(Pid caller, MemId id,
+                                                    std::size_t offset,
+                                                    std::uint16_t bits) {
+  ++ops_;
+  Object* obj = nullptr;
+  if (Status st = check_access(caller, id, offset, 2, &obj);
+      st != Status::kOk) {
+    co_await engine_->sleep(costs_.primitive_call);
+    co_return common::Err(st);
+  }
+  if (is_remote(caller, obj->home)) ++remote_;
+  // The read-modify-write is performed atomically *at this point in
+  // simulated time* (the microcode holds the memory bank); the charged
+  // delay models the caller's latency, during which the new value is
+  // already visible to others — conservative and race-free.
+  std::uint16_t old;
+  std::memcpy(&old, obj->bytes.data() + offset, 2);
+  const std::uint16_t neu = static_cast<std::uint16_t>(old | bits);
+  std::memcpy(obj->bytes.data() + offset, &neu, 2);
+  co_await engine_->sleep(access_cost(caller, *obj, costs_.atomic16));
+  co_return old;
+}
+
+sim::Task<Result<std::uint16_t>> Kernel::fetch_and16(Pid caller, MemId id,
+                                                     std::size_t offset,
+                                                     std::uint16_t mask) {
+  ++ops_;
+  Object* obj = nullptr;
+  if (Status st = check_access(caller, id, offset, 2, &obj);
+      st != Status::kOk) {
+    co_await engine_->sleep(costs_.primitive_call);
+    co_return common::Err(st);
+  }
+  if (is_remote(caller, obj->home)) ++remote_;
+  std::uint16_t old;
+  std::memcpy(&old, obj->bytes.data() + offset, 2);
+  const std::uint16_t neu = static_cast<std::uint16_t>(old & mask);
+  std::memcpy(obj->bytes.data() + offset, &neu, 2);
+  co_await engine_->sleep(access_cost(caller, *obj, costs_.atomic16));
+  co_return old;
+}
+
+sim::Task<Result<std::uint32_t>> Kernel::read32(Pid caller, MemId id,
+                                                std::size_t offset) {
+  ++ops_;
+  Object* obj = nullptr;
+  if (Status st = check_access(caller, id, offset, 4, &obj);
+      st != Status::kOk) {
+    co_await engine_->sleep(costs_.primitive_call);
+    co_return common::Err(st);
+  }
+  if (is_remote(caller, obj->home)) ++remote_;
+  co_await engine_->sleep(access_cost(caller, *obj, costs_.word32));
+  obj = find_object(id);
+  if (obj == nullptr) co_return common::Err(Status::kDeallocated);
+  std::uint32_t v;
+  std::memcpy(&v, obj->bytes.data() + offset, 4);
+  co_return v;
+}
+
+sim::Task<Status> Kernel::write32(Pid caller, MemId id, std::size_t offset,
+                                  std::uint32_t value) {
+  ++ops_;
+  Object* obj = nullptr;
+  if (Status st = check_access(caller, id, offset, 4, &obj);
+      st != Status::kOk) {
+    co_await engine_->sleep(costs_.primitive_call);
+    co_return st;
+  }
+  if (is_remote(caller, obj->home)) ++remote_;
+  // Non-atomic 32-bit write: the paper's §5.2 relies on exactly this
+  // (dual queue names are written non-atomically, made safe by update
+  // ordering).  We model the tear window by writing the low half now and
+  // the high half after the delay.
+  std::memcpy(obj->bytes.data() + offset, &value, 2);
+  co_await engine_->sleep(access_cost(caller, *obj, costs_.word32));
+  obj = find_object(id);
+  if (obj == nullptr) co_return Status::kDeallocated;
+  std::memcpy(obj->bytes.data() + offset + 2,
+              reinterpret_cast<const std::uint8_t*>(&value) + 2, 2);
+  co_return Status::kOk;
+}
+
+sim::Task<Status> Kernel::block_write(Pid caller, MemId id,
+                                      std::size_t offset,
+                                      const std::vector<std::uint8_t>& data) {
+  ++ops_;
+  Object* obj = nullptr;
+  if (Status st = check_access(caller, id, offset, data.size(), &obj);
+      st != Status::kOk) {
+    co_await engine_->sleep(costs_.primitive_call);
+    co_return st;
+  }
+  const bool remote = is_remote(caller, obj->home);
+  if (remote) ++remote_;
+  co_await engine_->sleep(costs_.primitive_call +
+                          fabric_.block_transfer(data.size(), remote));
+  obj = find_object(id);
+  if (obj == nullptr) co_return Status::kDeallocated;
+  std::copy(data.begin(), data.end(),
+            obj->bytes.begin() + static_cast<std::ptrdiff_t>(offset));
+  co_return Status::kOk;
+}
+
+sim::Task<Result<std::vector<std::uint8_t>>> Kernel::block_read(
+    Pid caller, MemId id, std::size_t offset, std::size_t length) {
+  ++ops_;
+  Object* obj = nullptr;
+  if (Status st = check_access(caller, id, offset, length, &obj);
+      st != Status::kOk) {
+    co_await engine_->sleep(costs_.primitive_call);
+    co_return common::Err(st);
+  }
+  const bool remote = is_remote(caller, obj->home);
+  if (remote) ++remote_;
+  co_await engine_->sleep(costs_.primitive_call +
+                          fabric_.block_transfer(length, remote));
+  obj = find_object(id);
+  if (obj == nullptr) co_return common::Err(Status::kDeallocated);
+  std::vector<std::uint8_t> out(
+      obj->bytes.begin() + static_cast<std::ptrdiff_t>(offset),
+      obj->bytes.begin() + static_cast<std::ptrdiff_t>(offset + length));
+  co_return out;
+}
+
+// ===================== event blocks =====================
+
+sim::Task<Result<EventId>> Kernel::make_event(Pid owner) {
+  ++ops_;
+  co_await engine_->sleep(costs_.primitive_call + costs_.make_event);
+  if (!procs_.contains(owner)) co_return common::Err(Status::kProcessDead);
+  const EventId id = event_ids_.next();
+  Event ev;
+  ev.id = id;
+  ev.owner = owner;
+  events_.emplace(id, std::move(ev));
+  co_return id;
+}
+
+sim::Task<Status> Kernel::post(Pid caller, EventId id, std::uint32_t datum) {
+  ++ops_;
+  co_await engine_->sleep(costs_.primitive_call + costs_.event_post);
+  (void)caller;  // any process that knows the name may post
+  auto it = events_.find(id);
+  if (it == events_.end()) co_return Status::kNoSuchObject;
+  Event& ev = it->second;
+  if (ev.waiter != nullptr && !ev.waiter->fulfilled()) {
+    ev.waiter->fulfill(datum);
+  } else {
+    ev.pending.push_back(datum);
+  }
+  co_return Status::kOk;
+}
+
+sim::Task<Result<std::uint32_t>> Kernel::wait_event(Pid caller, EventId id) {
+  ++ops_;
+  co_await engine_->sleep(costs_.primitive_call + costs_.event_wait);
+  auto it = events_.find(id);
+  if (it == events_.end()) co_return common::Err(Status::kNoSuchObject);
+  Event& ev = it->second;
+  if (ev.owner != caller) co_return common::Err(Status::kNotOwner);
+  if (!ev.pending.empty()) {
+    const std::uint32_t datum = ev.pending.front();
+    ev.pending.pop_front();
+    co_return datum;
+  }
+  if (ev.waiter == nullptr) {
+    ev.waiter = std::make_unique<sim::OneShot<std::uint32_t>>(*engine_);
+  }
+  const std::uint32_t datum = co_await ev.waiter->take();
+  co_return datum;
+}
+
+// ===================== dual queues =====================
+
+sim::Task<Result<DqId>> Kernel::make_dual_queue(Pid caller,
+                                                std::size_t capacity) {
+  ++ops_;
+  co_await engine_->sleep(costs_.primitive_call + costs_.make_queue);
+  if (!procs_.contains(caller)) co_return common::Err(Status::kProcessDead);
+  const DqId id = dq_ids_.next();
+  DualQueue q;
+  q.id = id;
+  q.home = node_of(caller);
+  q.capacity = capacity;
+  queues_.emplace(id, std::move(q));
+  co_return id;
+}
+
+sim::Task<Status> Kernel::enqueue(Pid caller, DqId id, std::uint32_t datum) {
+  ++ops_;
+  auto it = queues_.find(id);
+  if (it == queues_.end()) {
+    co_await engine_->sleep(costs_.primitive_call);
+    co_return Status::kNoSuchObject;
+  }
+  DualQueue& q = it->second;
+  const bool remote = is_remote(caller, q.home);
+  if (remote) ++remote_;
+  co_await engine_->sleep(costs_.primitive_call + costs_.dq_enqueue +
+                          (remote ? fabric_.word_reference(true) : 0));
+  // queue object may have been reclaimed across the suspension
+  auto it2 = queues_.find(id);
+  if (it2 == queues_.end()) co_return Status::kNoSuchObject;
+  DualQueue& q2 = it2->second;
+  if (!q2.waiters.empty()) {
+    // "An enqueue operation on a queue containing event block names
+    // actually posts a queued event instead of adding its datum."
+    const EventId target = q2.waiters.front();
+    q2.waiters.pop_front();
+    auto ev = events_.find(target);
+    if (ev != events_.end()) {
+      if (ev->second.waiter != nullptr && !ev->second.waiter->fulfilled()) {
+        ev->second.waiter->fulfill(datum);
+      } else {
+        ev->second.pending.push_back(datum);
+      }
+    }
+    co_return Status::kOk;
+  }
+  if (q2.data.size() >= q2.capacity) co_return Status::kQueueFull;
+  q2.data.push_back(datum);
+  co_return Status::kOk;
+}
+
+sim::Task<Result<Kernel::DequeueOutcome>> Kernel::dequeue(Pid caller, DqId id,
+                                                          EventId my_event) {
+  ++ops_;
+  auto it = queues_.find(id);
+  if (it == queues_.end()) {
+    co_await engine_->sleep(costs_.primitive_call);
+    co_return common::Err(Status::kNoSuchObject);
+  }
+  DualQueue& q = it->second;
+  const bool remote = is_remote(caller, q.home);
+  if (remote) ++remote_;
+  co_await engine_->sleep(costs_.primitive_call + costs_.dq_dequeue +
+                          (remote ? fabric_.word_reference(true) : 0));
+  auto it2 = queues_.find(id);
+  if (it2 == queues_.end()) co_return common::Err(Status::kNoSuchObject);
+  DualQueue& q2 = it2->second;
+  if (!q2.data.empty()) {
+    DequeueOutcome out;
+    out.datum = q2.data.front();
+    q2.data.pop_front();
+    co_return out;
+  }
+  // "Once a queue becomes empty, subsequent dequeue operations actually
+  // enqueue event block names, on which the calling processes can wait."
+  q2.waiters.push_back(my_event);
+  DequeueOutcome out;
+  out.would_block = true;
+  co_return out;
+}
+
+sim::Task<Result<std::uint32_t>> Kernel::dequeue_wait(Pid caller, DqId id,
+                                                      EventId my_event) {
+  auto outcome = co_await dequeue(caller, id, my_event);
+  if (!outcome.ok()) co_return common::Err(outcome.error());
+  if (!outcome.value().would_block) co_return outcome.value().datum;
+  auto datum = co_await wait_event(caller, my_event);
+  if (!datum.ok()) co_return common::Err(datum.error());
+  co_return datum.value();
+}
+
+}  // namespace chrysalis

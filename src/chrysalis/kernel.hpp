@@ -1,0 +1,164 @@
+// The simulated Chrysalis operating system (paper §5).
+//
+// One Kernel per Butterfly.  Everything is shared memory: the kernel
+// manages memory objects (mappable, reference counted), event blocks
+// (owner-waits binary semaphores carrying a 32-bit datum), and dual
+// queues (bounded data queues that flip into queues of event-block
+// names when drained).  There is no message passing; the LYNX backend
+// builds its own screening on top of these primitives — exactly the
+// paper's point in lesson two.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "chrysalis/types.hpp"
+#include "common/result.hpp"
+#include "net/butterfly_switch.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace chrysalis {
+
+template <typename T>
+using Result = common::Result<T, Status>;
+
+class Kernel {
+ public:
+  explicit Kernel(sim::Engine& engine, net::ButterflyParams fabric = {},
+                  Costs costs = {});
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] const Costs& costs() const { return costs_; }
+
+  // ---- processes ------------------------------------------------------
+  [[nodiscard]] Pid create_process(net::NodeId node);
+  // Chrysalis lets a dying process catch the exception and clean up; the
+  // handler runs (synchronously, kernel-mediated) before the process is
+  // reaped.  Processor failures are NOT detected — as in the paper.
+  void set_termination_handler(Pid pid, std::function<void()> handler);
+  void terminate(Pid pid);
+  [[nodiscard]] bool alive(Pid pid) const { return procs_.contains(pid); }
+  [[nodiscard]] net::NodeId node_of(Pid pid) const;
+
+  // ---- memory objects --------------------------------------------------
+  [[nodiscard]] sim::Task<Result<MemId>> make_object(Pid caller,
+                                                     std::size_t size);
+  [[nodiscard]] sim::Task<Status> map(Pid caller, MemId obj);
+  [[nodiscard]] sim::Task<Status> unmap(Pid caller, MemId obj);
+  // "inform Chrysalis that the object can be deallocated when its
+  // reference count reaches zero"
+  void release_when_unreferenced(MemId obj);
+  [[nodiscard]] bool object_exists(MemId obj) const {
+    return objects_.contains(obj);
+  }
+
+  // word ops (16-bit atomic: cheap; 32-bit: costly)
+  [[nodiscard]] sim::Task<Result<std::uint16_t>> read16(Pid, MemId,
+                                                        std::size_t offset);
+  [[nodiscard]] sim::Task<Status> write16(Pid, MemId, std::size_t offset,
+                                          std::uint16_t value);
+  // atomic read-modify-write on a 16-bit word; returns the OLD value
+  [[nodiscard]] sim::Task<Result<std::uint16_t>> fetch_or16(
+      Pid, MemId, std::size_t offset, std::uint16_t bits);
+  [[nodiscard]] sim::Task<Result<std::uint16_t>> fetch_and16(
+      Pid, MemId, std::size_t offset, std::uint16_t mask);
+  [[nodiscard]] sim::Task<Result<std::uint32_t>> read32(Pid, MemId,
+                                                        std::size_t offset);
+  [[nodiscard]] sim::Task<Status> write32(Pid, MemId, std::size_t offset,
+                                          std::uint32_t value);
+  // block transfer through the switch (microcoded copy)
+  [[nodiscard]] sim::Task<Status> block_write(
+      Pid, MemId, std::size_t offset, const std::vector<std::uint8_t>& data);
+  [[nodiscard]] sim::Task<Result<std::vector<std::uint8_t>>> block_read(
+      Pid, MemId, std::size_t offset, std::size_t length);
+
+  // ---- event blocks ------------------------------------------------------
+  [[nodiscard]] sim::Task<Result<EventId>> make_event(Pid owner);
+  // anyone who knows the name may post; only the owner may wait
+  [[nodiscard]] sim::Task<Status> post(Pid caller, EventId event,
+                                       std::uint32_t datum);
+  [[nodiscard]] sim::Task<Result<std::uint32_t>> wait_event(Pid caller,
+                                                            EventId event);
+
+  // ---- dual queues ---------------------------------------------------------
+  [[nodiscard]] sim::Task<Result<DqId>> make_dual_queue(Pid caller,
+                                                        std::size_t capacity);
+  // enqueue: appends datum, or — if the queue holds waiter event names —
+  // posts the front event with the datum instead (paper §5.1).
+  [[nodiscard]] sim::Task<Status> enqueue(Pid caller, DqId q,
+                                          std::uint32_t datum);
+  // dequeue: pops a datum, or — if empty — enqueues `my_event`'s name and
+  // reports would-block; the caller then waits on its event block.
+  struct DequeueOutcome {
+    bool would_block = false;
+    std::uint32_t datum = 0;
+  };
+  [[nodiscard]] sim::Task<Result<DequeueOutcome>> dequeue(Pid caller, DqId q,
+                                                          EventId my_event);
+  // Convenience composite: dequeue, waiting on `my_event` if needed (the
+  // paper: "The most common use of event blocks is in conjunction with
+  // dual queues").
+  [[nodiscard]] sim::Task<Result<std::uint32_t>> dequeue_wait(
+      Pid caller, DqId q, EventId my_event);
+
+  // ---- instrumentation -------------------------------------------------
+  [[nodiscard]] std::uint64_t microcode_ops() const { return ops_; }
+  [[nodiscard]] std::uint64_t remote_references() const { return remote_; }
+
+ private:
+  struct Object {
+    MemId id;
+    net::NodeId home;  // memory board it lives on
+    std::vector<std::uint8_t> bytes;
+    std::unordered_set<Pid> mapped_by;
+    bool release_pending = false;
+  };
+  struct Event {
+    EventId id;
+    Pid owner;
+    std::deque<std::uint32_t> pending;  // posted data not yet waited for
+    std::unique_ptr<sim::OneShot<std::uint32_t>> waiter;  // armed by wait
+  };
+  struct DualQueue {
+    DqId id;
+    net::NodeId home;
+    std::size_t capacity;
+    // either data or event names, never both
+    std::deque<std::uint32_t> data;
+    std::deque<EventId> waiters;
+  };
+
+  [[nodiscard]] Object* find_object(MemId id);
+  [[nodiscard]] Status check_access(Pid caller, MemId obj, std::size_t offset,
+                                    std::size_t len, Object** out);
+  [[nodiscard]] sim::Duration access_cost(Pid caller, const Object& obj,
+                                          sim::Duration base) const;
+  void reap_object_if_dead(Object& obj);
+  [[nodiscard]] bool is_remote(Pid caller, net::NodeId home) const;
+
+  sim::Engine* engine_;
+  Costs costs_;
+  net::ButterflyFabric fabric_;
+  std::unordered_map<Pid, host::ProcessInfo> procs_;
+  std::unordered_map<Pid, std::function<void()>> term_handlers_;
+  std::unordered_map<MemId, Object> objects_;
+  std::unordered_map<EventId, Event> events_;
+  std::unordered_map<DqId, DualQueue> queues_;
+  common::IdAllocator<Pid> pids_;
+  common::IdAllocator<MemId> mem_ids_;
+  common::IdAllocator<EventId> event_ids_;
+  common::IdAllocator<DqId> dq_ids_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t remote_ = 0;
+};
+
+}  // namespace chrysalis

@@ -1,0 +1,30 @@
+// Internal invariant checking for the relynx simulation substrate.
+//
+// RELYNX_ASSERT is always on (the simulator is a research instrument; a
+// silently-corrupt event queue is worse than an abort), but failures go
+// through a single reporting function so tests can observe message text.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace common {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "relynx assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace common
+
+#define RELYNX_ASSERT(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) ::common::assert_fail(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define RELYNX_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) ::common::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,78 @@
+// A minimal Result<T, E> (gcc 12 has no std::expected).
+//
+// Kernel calls in the simulated operating systems return status codes the
+// way the 1986 kernels did; Result keeps the status next to the value so
+// call sites cannot forget to check it (value() asserts on error).
+#pragma once
+
+#include <utility>
+#include <variant>
+
+#include "common/assert.hpp"
+
+namespace common {
+
+template <typename E>
+class Err {
+ public:
+  constexpr explicit Err(E e) : error_(std::move(e)) {}
+  E error_;
+};
+
+template <typename T, typename E>
+class Result {
+ public:
+  // Intentionally implicit: `return value;` / `return Err(code);`.
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Result(Err<E> e) : storage_(std::in_place_index<1>, std::move(e.error_)) {}
+
+  [[nodiscard]] bool ok() const { return storage_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    RELYNX_ASSERT_MSG(ok(), "Result::value() on error");
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    RELYNX_ASSERT_MSG(ok(), "Result::value() on error");
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    RELYNX_ASSERT_MSG(ok(), "Result::value() on error");
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] const E& error() const {
+    RELYNX_ASSERT_MSG(!ok(), "Result::error() on success");
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+// Result<void, E>: just a status.
+template <typename E>
+class Status {
+ public:
+  Status() = default;  // success
+  Status(Err<E> e) : error_(std::move(e.error_)), failed_(true) {}
+
+  [[nodiscard]] bool ok() const { return !failed_; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const E& error() const {
+    RELYNX_ASSERT_MSG(failed_, "Status::error() on success");
+    return error_;
+  }
+
+ private:
+  E error_{};
+  bool failed_ = false;
+};
+
+}  // namespace common

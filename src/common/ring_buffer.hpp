@@ -1,0 +1,60 @@
+// Fixed-capacity ring buffer.
+//
+// Used for the bounded queues the simulated kernels expose (Chrysalis dual
+// queues, NIC transmit queues).  Capacity is fixed at construction; the
+// caller decides what "full" means (Chrysalis blocks, a NIC drops).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace common {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : slots_(capacity) {
+    RELYNX_ASSERT(capacity > 0);
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] bool full() const { return size_ == slots_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  // Returns false (and does not move from `v`) when full.
+  [[nodiscard]] bool push(T v) {
+    if (full()) return false;
+    slots_[(head_ + size_) % slots_.size()] = std::move(v);
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] T pop() {
+    RELYNX_ASSERT_MSG(!empty(), "RingBuffer::pop on empty buffer");
+    T v = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --size_;
+    return v;
+  }
+
+  [[nodiscard]] const T& front() const {
+    RELYNX_ASSERT_MSG(!empty(), "RingBuffer::front on empty buffer");
+    return slots_[head_];
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace common

@@ -1,0 +1,64 @@
+// Strongly-typed integral identifiers.
+//
+// The simulator traffics in many kinds of small integer ids (nodes,
+// processes, links, link ends, names, memory objects...).  Mixing them up
+// is the classic source of silent simulation bugs, so each id is a
+// distinct type: StrongId<struct NodeTag> cannot be passed where a
+// StrongId<struct PidTag> is expected.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace common {
+
+template <typename Tag, typename Rep = std::uint64_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value_(v) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != invalid_rep; }
+
+  static constexpr Rep invalid_rep = static_cast<Rep>(-1);
+  [[nodiscard]] static constexpr StrongId invalid() {
+    return StrongId(invalid_rep);
+  }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << Tag::prefix() << "<invalid>";
+    return os << Tag::prefix() << id.value_;
+  }
+
+ private:
+  Rep value_ = invalid_rep;
+};
+
+// Monotonic id generator; one per id space.
+template <typename Id>
+class IdAllocator {
+ public:
+  [[nodiscard]] Id next() { return Id(next_++); }
+  [[nodiscard]] typename Id::rep_type issued() const { return next_; }
+
+ private:
+  typename Id::rep_type next_ = 0;
+};
+
+}  // namespace common
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<common::StrongId<Tag, Rep>> {
+  size_t operator()(common::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

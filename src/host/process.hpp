@@ -1,0 +1,25 @@
+// Shared process identity for the simulated kernels.
+//
+// Every kernel (Charlotte, SODA, Chrysalis) manages processes; they share
+// the Pid type so the LYNX runtime and the experiment harnesses can talk
+// about "the process" uniformly, while each kernel keeps its own
+// per-process state.
+#pragma once
+
+#include "common/strong_id.hpp"
+#include "net/packet.hpp"
+
+namespace host {
+
+struct PidTag {
+  static const char* prefix() { return "pid"; }
+};
+using Pid = common::StrongId<PidTag, std::uint32_t>;
+
+struct ProcessInfo {
+  Pid pid;
+  net::NodeId node;
+  bool alive = true;
+};
+
+}  // namespace host

@@ -1,0 +1,121 @@
+// The Backend interface: what the LYNX run-time package asks of an
+// operating system.
+//
+// This interface is the paper's subject.  Everything above it (threads,
+// request/reply queues, block points, fairness, type checking) is shared
+// across the three implementations; everything below it (link
+// representation, message screening, moving ends) differs per kernel —
+// and the *cost* of bridging the gap is what the experiments measure.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/strong_id.hpp"
+#include "lynx/message.hpp"
+#include "sim/task.hpp"
+
+namespace lynx {
+
+struct BLinkTag {
+  static const char* prefix() { return "bl"; }
+};
+// Backend-scoped token for a link end owned by this process.
+using BLink = common::StrongId<BLinkTag>;
+
+enum class MsgKind : std::uint8_t { kRequest, kReply };
+
+struct WireMessage {
+  MsgKind kind = MsgKind::kRequest;
+  Bytes body;
+  std::vector<BLink> enclosures;
+};
+
+enum class SendResult : std::uint8_t {
+  kDelivered,
+  kCancelled,       // cancel won the race; enclosures recovered (maybe)
+  kLinkDestroyed,   // peer gone / link destroyed
+  kReplyUnwanted,   // reply sent to an aborted caller (SODA/Chrysalis
+                    // backends can detect this; Charlotte cannot)
+};
+
+struct SendOutcome {
+  SendResult result = SendResult::kDelivered;
+  // Charlotte deviation (§3.2.2): enclosures of an aborted/failed
+  // message may be unrecoverable.
+  std::vector<BLink> lost_enclosures;
+};
+
+// A send in flight.  The runtime awaits it in the sending thread and may
+// cancel it from an abort path.
+class PendingSend {
+ public:
+  virtual ~PendingSend() = default;
+  [[nodiscard]] virtual sim::Task<SendOutcome> wait() = 0;
+  virtual void cancel() = 0;
+};
+
+struct BackendEvent {
+  enum class Kind : std::uint8_t {
+    kRequestArrived,
+    kReplyArrived,
+    kLinkDestroyed,
+  };
+  Kind kind = Kind::kRequestArrived;
+  BLink link;
+  Bytes body;
+  std::vector<BLink> enclosures;  // receiver-side tokens of moved ends
+};
+
+// Paper §6: the four capabilities that distinguish the primitive-kernel
+// backends from the Charlotte backend (experiment E8).
+struct Capabilities {
+  bool moves_multiple_links_in_one_message = false;  // (1)
+  bool all_received_messages_wanted = false;         // (2)
+  bool recovers_enclosures_on_abort = false;         // (3)
+  bool detects_all_exceptions = false;               // (4)
+};
+
+class Backend {
+ public:
+  using Sink = std::function<void(BackendEvent)>;
+
+  virtual ~Backend() = default;
+
+  [[nodiscard]] virtual std::string kernel_name() const = 0;
+  [[nodiscard]] virtual Capabilities capabilities() const = 0;
+
+  // Installs the event sink and starts internal pumps.
+  virtual void start(Sink sink) = 0;
+  // Destroys every link still attached (normal exit and crash alike).
+  virtual void shutdown() = 0;
+
+  // Creates a link with both ends owned by this process.
+  [[nodiscard]] virtual sim::Task<std::pair<BLink, BLink>> make_link() = 0;
+
+  // Begins transmission of a request or reply.  The runtime guarantees
+  // at most one send in flight per link end.
+  [[nodiscard]] virtual std::unique_ptr<PendingSend> begin_send(
+      BLink link, WireMessage msg) = 0;
+
+  // Screening interest: want_requests mirrors the open/closed request
+  // queue; want_replies is true while some thread awaits a reply.
+  virtual void set_interest(BLink link, bool want_requests,
+                            bool want_replies) = 0;
+
+  // The thread awaiting a reply on `link` was aborted; the backend may
+  // be able to tell the server (capability 4).
+  virtual void retract_reply_interest(BLink link) = 0;
+
+  // Destroys one end (and so the link).
+  [[nodiscard]] virtual sim::Task<void> destroy(BLink link) = 0;
+
+  // Instrumentation for the experiments: kernel-level messages/frames
+  // attributable to this backend since start.
+  [[nodiscard]] virtual std::uint64_t protocol_messages() const = 0;
+};
+
+}  // namespace lynx

@@ -1,0 +1,142 @@
+// The Chrysalis backend (paper §5.2).
+//
+// Every process allocates ONE dual queue and ONE event block through
+// which it hears about messages sent and received.  A link is a memory
+// object mapped by the two connected processes, holding buffer space for
+// a single request and a single reply in each direction, a set of flag
+// bits, and the dual-queue names of both side owners.
+//
+// The hint discipline is the paper's: notices on dual queues are HINTS
+// (cheap, possibly stale, possibly dropped on the floor); the flag bits
+// in the link object are ABSOLUTE.  Whenever a process dequeues a notice
+// it checks that it still owns the mentioned end and that the flag is
+// really set; stale notices are discarded.  Every flag change is
+// eventually covered by a notice, but not every notice reflects a flag.
+//
+// Moving a link: pass the (address-space-independent) object name in a
+// message; the receiver maps the object, writes its own dual-queue name
+// — NON-atomically, safe because it completes the write before
+// inspecting flags — and self-notices any flags already set.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "chrysalis/kernel.hpp"
+#include "lynx/backend.hpp"
+#include "lynx/runtime.hpp"
+
+namespace lynx {
+
+struct ChrysalisBackendParams {
+  std::size_t max_message_bytes = 2048;  // per-direction buffer size
+  std::size_t dual_queue_capacity = 64;
+};
+
+class ChrysalisBackend final : public Backend {
+ public:
+  ChrysalisBackend(chrysalis::Kernel& kernel, net::NodeId node,
+                   ChrysalisBackendParams params = {});
+  ~ChrysalisBackend() override;
+
+  [[nodiscard]] std::string kernel_name() const override {
+    return "chrysalis";
+  }
+  [[nodiscard]] Capabilities capabilities() const override {
+    return Capabilities{
+        .moves_multiple_links_in_one_message = true,
+        .all_received_messages_wanted = true,
+        .recovers_enclosures_on_abort = true,
+        .detects_all_exceptions = true,
+    };
+  }
+
+  void start(Sink sink) override;
+  void shutdown() override;
+  [[nodiscard]] sim::Task<std::pair<BLink, BLink>> make_link() override;
+  [[nodiscard]] std::unique_ptr<PendingSend> begin_send(
+      BLink link, WireMessage msg) override;
+  void set_interest(BLink link, bool want_requests,
+                    bool want_replies) override;
+  void retract_reply_interest(BLink link) override;
+  [[nodiscard]] sim::Task<void> destroy(BLink link) override;
+  [[nodiscard]] std::uint64_t protocol_messages() const override {
+    return notices_;
+  }
+
+  [[nodiscard]] chrysalis::Pid pid() const { return pid_; }
+
+  // Bootstrap: wire two started-or-starting processes together with a
+  // fresh link (the loader's job).  Run on the engine before traffic.
+  [[nodiscard]] static sim::Task<std::pair<LinkHandle, LinkHandle>> connect(
+      Process& a, Process& b);
+
+ private:
+  friend class ChrysalisPendingSend;
+
+  struct PendingOut {
+    class ChrysalisPendingSend* ps = nullptr;
+  };
+  struct LinkRec {
+    BLink token;
+    chrysalis::MemId obj;
+    std::uint8_t side = 0;  // 0 = A, 1 = B
+    bool want_requests = false;
+    bool want_replies = false;
+    bool destroyed = false;
+    PendingOut out_req;
+    PendingOut out_rep;
+  };
+
+  // object layout helpers
+  [[nodiscard]] std::size_t slot_offset(int slot) const;
+  [[nodiscard]] std::size_t object_size() const;
+
+  [[nodiscard]] sim::Task<> pump();
+  [[nodiscard]] sim::Task<> maybe_consume(chrysalis::MemId obj, int slot);
+  [[nodiscard]] sim::Task<> consume_incoming(chrysalis::MemId obj, int slot);
+  void handle_consumed(chrysalis::MemId obj, int slot);
+  [[nodiscard]] sim::Task<> handle_destroyed_notice(chrysalis::MemId obj);
+  [[nodiscard]] sim::Task<> perform_send(BLink link, WireMessage msg,
+                                         class ChrysalisPendingSend* ps);
+  void request_cancel(BLink link, class ChrysalisPendingSend* ps);
+  [[nodiscard]] sim::Task<> perform_cancel(BLink link,
+                                           class ChrysalisPendingSend* ps);
+  [[nodiscard]] sim::Task<> perform_destroy_bits(chrysalis::MemId obj,
+                                                 std::uint8_t side);
+  [[nodiscard]] sim::Task<> perform_shutdown();
+  [[nodiscard]] sim::Task<> recheck_link(chrysalis::MemId obj);
+  [[nodiscard]] sim::Task<> unmap_object(chrysalis::MemId obj);
+  [[nodiscard]] sim::Task<> enqueue_self(std::uint32_t datum);
+  [[nodiscard]] sim::Task<> set_unwanted_bit(chrysalis::MemId obj,
+                                             std::uint8_t side);
+  [[nodiscard]] LinkRec* side_rec(chrysalis::MemId obj, std::uint8_t side);
+  [[nodiscard]] LinkRec* find(BLink link);
+  void index_link(const LinkRec& rec);
+  void unindex_link(const LinkRec& rec);
+
+  chrysalis::Kernel* kernel_;
+  net::NodeId node_;
+  ChrysalisBackendParams params_;
+  chrysalis::Pid pid_;
+  Sink sink_;
+  bool running_ = false;
+
+  std::unique_ptr<sim::Gate> ready_;
+  chrysalis::DqId my_dq_;
+  chrysalis::EventId my_event_;
+  bool comm_ready_ = false;
+
+  std::unordered_map<BLink, LinkRec> links_;
+  std::unordered_map<chrysalis::MemId, std::array<BLink, 2>> by_obj_;
+  common::IdAllocator<BLink> blink_ids_;
+  std::uint64_t notices_ = 0;
+  std::uint64_t notices_taken_ = 0;
+};
+
+[[nodiscard]] std::unique_ptr<ChrysalisBackend> make_chrysalis_backend(
+    chrysalis::Kernel& kernel, net::NodeId node,
+    ChrysalisBackendParams params = {});
+
+}  // namespace lynx

@@ -1,0 +1,169 @@
+#include "lynx/message.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace lynx {
+
+ValueType type_of(const Value& v) {
+  return static_cast<ValueType>(v.index());
+}
+
+const char* to_string(ValueType t) {
+  switch (t) {
+    case ValueType::kInt: return "int";
+    case ValueType::kReal: return "real";
+    case ValueType::kString: return "string";
+    case ValueType::kBytes: return "bytes";
+    case ValueType::kLink: return "link";
+  }
+  return "?";
+}
+
+std::vector<ValueType> Message::signature() const {
+  std::vector<ValueType> sig;
+  sig.reserve(args.size());
+  for (const Value& v : args) sig.push_back(type_of(v));
+  return sig;
+}
+
+std::size_t Message::count_links() const {
+  std::size_t n = 0;
+  for (const Value& v : args) {
+    if (std::holds_alternative<LinkHandle>(v)) ++n;
+  }
+  return n;
+}
+
+Message make_message(std::string op, std::vector<Value> args) {
+  return Message{std::move(op), std::move(args)};
+}
+
+namespace {
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+struct Reader {
+  const Bytes& in;
+  std::size_t pos = 0;
+
+  std::uint8_t u8() {
+    RELYNX_ASSERT_MSG(pos < in.size(), "truncated LYNX message");
+    return in[pos++];
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+  Bytes blob(std::size_t n) {
+    RELYNX_ASSERT_MSG(pos + n <= in.size(), "truncated LYNX message");
+    Bytes out(in.begin() + static_cast<std::ptrdiff_t>(pos),
+              in.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return out;
+  }
+};
+
+}  // namespace
+
+Serialized serialize(const Message& m) {
+  Serialized out;
+  put_u32(out.body, static_cast<std::uint32_t>(m.op.size()));
+  out.body.insert(out.body.end(), m.op.begin(), m.op.end());
+  put_u32(out.body, static_cast<std::uint32_t>(m.args.size()));
+  for (const Value& v : m.args) {
+    out.body.push_back(static_cast<std::uint8_t>(type_of(v)));
+    switch (type_of(v)) {
+      case ValueType::kInt:
+        put_u64(out.body,
+                static_cast<std::uint64_t>(std::get<std::int64_t>(v)));
+        break;
+      case ValueType::kReal: {
+        std::uint64_t bits;
+        const double d = std::get<double>(v);
+        std::memcpy(&bits, &d, 8);
+        put_u64(out.body, bits);
+        break;
+      }
+      case ValueType::kString: {
+        const auto& s = std::get<std::string>(v);
+        put_u32(out.body, static_cast<std::uint32_t>(s.size()));
+        out.body.insert(out.body.end(), s.begin(), s.end());
+        break;
+      }
+      case ValueType::kBytes: {
+        const auto& b = std::get<Bytes>(v);
+        put_u32(out.body, static_cast<std::uint32_t>(b.size()));
+        out.body.insert(out.body.end(), b.begin(), b.end());
+        break;
+      }
+      case ValueType::kLink:
+        put_u32(out.body,
+                static_cast<std::uint32_t>(out.enclosures.size()));
+        out.enclosures.push_back(std::get<LinkHandle>(v));
+        break;
+    }
+  }
+  return out;
+}
+
+Message deserialize(const Bytes& body,
+                    const std::vector<LinkHandle>& enclosures) {
+  Reader r{body};
+  Message m;
+  const std::uint32_t op_len = r.u32();
+  const Bytes op = r.blob(op_len);
+  m.op.assign(op.begin(), op.end());
+  const std::uint32_t argc = r.u32();
+  m.args.reserve(argc);
+  for (std::uint32_t i = 0; i < argc; ++i) {
+    const auto tag = static_cast<ValueType>(r.u8());
+    switch (tag) {
+      case ValueType::kInt:
+        m.args.emplace_back(static_cast<std::int64_t>(r.u64()));
+        break;
+      case ValueType::kReal: {
+        const std::uint64_t bits = r.u64();
+        double d;
+        std::memcpy(&d, &bits, 8);
+        m.args.emplace_back(d);
+        break;
+      }
+      case ValueType::kString: {
+        const Bytes s = r.blob(r.u32());
+        m.args.emplace_back(std::string(s.begin(), s.end()));
+        break;
+      }
+      case ValueType::kBytes:
+        m.args.emplace_back(r.blob(r.u32()));
+        break;
+      case ValueType::kLink: {
+        const std::uint32_t idx = r.u32();
+        RELYNX_ASSERT_MSG(idx < enclosures.size(),
+                          "enclosure index out of range");
+        m.args.emplace_back(enclosures[idx]);
+        break;
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace lynx

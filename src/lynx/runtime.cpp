@@ -1,0 +1,531 @@
+#include "lynx/runtime.hpp"
+
+#include <algorithm>
+
+namespace lynx {
+
+// ===================== Process =====================
+
+Process::Process(sim::Engine& engine, std::string name,
+                 std::unique_ptr<Backend> backend, RuntimeCosts costs)
+    : engine_(&engine),
+      name_(std::move(name)),
+      backend_(std::move(backend)),
+      costs_(costs),
+      receive_waiters_(std::make_unique<sim::WaitList>(engine)) {}
+
+Process::~Process() = default;
+
+Process::LinkState* Process::find_link(LinkHandle h) {
+  auto it = links_.find(h);
+  return it == links_.end() ? nullptr : &it->second;
+}
+
+Process::LinkState& Process::require_link(LinkHandle h) {
+  LinkState* ls = find_link(h);
+  if (ls == nullptr) {
+    throw LynxError(ErrorKind::kInvalidLink, "no such link end");
+  }
+  return *ls;
+}
+
+LinkHandle Process::adopt_link(BLink blink) {
+  const LinkHandle h = link_ids_.next();
+  LinkState ls;
+  ls.handle = h;
+  ls.blink = blink;
+  ls.call_serializer = std::make_unique<sim::WaitList>(*engine_);
+  links_.emplace(h, std::move(ls));
+  by_blink_.emplace(blink, h);
+  fair_order_.push_back(h);
+  return h;
+}
+
+void Process::drop_link(LinkHandle h) {
+  auto it = links_.find(h);
+  if (it == links_.end()) return;
+  by_blink_.erase(it->second.blink);
+  links_.erase(it);
+  std::erase(fair_order_, h);
+}
+
+void Process::refresh_interest(LinkState& ls) {
+  if (ls.destroyed) return;
+  backend_->set_interest(ls.blink, ls.open_requests,
+                         ls.active_call != nullptr);
+}
+
+ThreadId Process::spawn_thread(std::string thread_name, ThreadBody body) {
+  const ThreadId tid = thread_ids_.next();
+  ThreadState ts;
+  ts.id = tid;
+  ts.name = std::move(thread_name);
+  threads_.emplace(tid, std::move(ts));
+  threads_.at(tid).ctx = std::make_unique<ThreadCtx>(*this, tid);
+  if (started_) {
+    ++live_threads_;
+    engine_->spawn(name_ + "/" + threads_.at(tid).name,
+                   run_thread_body(tid, std::move(body)));
+  } else {
+    pending_threads_.emplace_back(tid, std::move(body));
+  }
+  return tid;
+}
+
+void Process::start() {
+  RELYNX_ASSERT_MSG(!started_, "Process started twice");
+  started_ = true;
+  backend_->start([this](BackendEvent ev) { on_backend_event(std::move(ev)); });
+  for (auto& [tid, body] : pending_threads_) {
+    ++live_threads_;
+    engine_->spawn(name_ + "/" + threads_.at(tid).name,
+                   run_thread_body(tid, std::move(body)));
+  }
+  pending_threads_.clear();
+}
+
+sim::Task<> Process::run_thread_body(ThreadId tid, ThreadBody body) {
+  ThreadState& ts = threads_.at(tid);
+  try {
+    co_await body(*ts.ctx);
+  } catch (const LynxError& e) {
+    thread_failures_.push_back(name_ + "/" + threads_.at(tid).name + ": " +
+                               e.what());
+  }
+  --live_threads_;
+  if (live_threads_ == 0 && !terminated_) {
+    // "Before terminating, each process destroys all of its links."
+    terminate();
+  }
+}
+
+void Process::abort_thread(ThreadId tid) {
+  auto it = threads_.find(tid);
+  if (it == threads_.end()) return;
+  ThreadState& ts = it->second;
+  ts.abort_requested = true;
+  if (ts.current_send != nullptr) {
+    ts.current_send->cancel();
+    return;
+  }
+  if (ts.awaiting_reply_on.valid()) {
+    if (LinkState* ls = find_link(ts.awaiting_reply_on);
+        ls != nullptr && ls->active_call != nullptr) {
+      CallRecord* rec = ls->active_call;
+      rec->failed = true;
+      rec->error = ErrorKind::kAborted;
+      // A reply already on the wire will arrive unwanted; remember to
+      // drop it rather than misdeliver it to the next call.
+      ++ls->stale_replies_expected;
+      backend_->retract_reply_interest(ls->blink);
+      rec->wake->fulfill(0);
+    }
+    return;
+  }
+  // Blocked in receive (or about to block): wake everyone; the aborted
+  // thread sees abort_requested and throws.
+  receive_waiters_->wake_all();
+}
+
+void Process::terminate() {
+  if (terminated_) return;
+  terminated_ = true;
+  for (auto& [h, ls] : links_) {
+    ls.destroyed = true;
+    if (ls.active_call != nullptr) {
+      ls.active_call->failed = true;
+      ls.active_call->error = ErrorKind::kLinkDestroyed;
+      ls.active_call->wake->fulfill(0);
+      ls.active_call = nullptr;
+    }
+  }
+  backend_->shutdown();
+  receive_waiters_->wake_all();
+}
+
+void Process::on_backend_event(BackendEvent ev) {
+  auto bit = by_blink_.find(ev.link);
+  if (bit == by_blink_.end()) return;  // stale event for a dropped end
+  LinkState& ls = links_.at(bit->second);
+
+  switch (ev.kind) {
+    case BackendEvent::Kind::kRequestArrived:
+    case BackendEvent::Kind::kReplyArrived: {
+      std::vector<LinkHandle> handles;
+      handles.reserve(ev.enclosures.size());
+      for (BLink e : ev.enclosures) handles.push_back(adopt_link(e));
+      Delivered d{deserialize(ev.body, handles), ev.body};
+
+      if (ev.kind == BackendEvent::Kind::kRequestArrived) {
+        if (!declared_ops_.empty() && !declared_ops_.contains(d.msg.op)) {
+          // Reject: return a %reject reply carrying the enclosures back.
+          Message reject;
+          reject.op = "%reject";
+          for (LinkHandle h : handles) reject.args.emplace_back(h);
+          Serialized ser = serialize(reject);
+          std::vector<BLink> blinks;
+          for (LinkHandle h : ser.enclosures) {
+            blinks.push_back(links_.at(h).blink);
+          }
+          auto ps = backend_->begin_send(
+              ls.blink, WireMessage{MsgKind::kReply, std::move(ser.body),
+                                    std::move(blinks)});
+          // fire and forget; drop the moved-back ends
+          auto* raw = ps.release();
+          engine_->spawn(name_ + "/reject",
+                         [](Process* p, PendingSend* send,
+                            std::vector<LinkHandle> hs) -> sim::Task<> {
+                           (void)co_await send->wait();
+                           delete send;
+                           for (LinkHandle h : hs) p->drop_link(h);
+                         }(this, raw, handles));
+          return;
+        }
+        ls.request_q.push_back(std::move(d));
+        receive_waiters_->wake_all();
+        return;
+      }
+
+      // Reply path.
+      if (ls.stale_replies_expected > 0) {
+        // Aborted caller: on Charlotte this reply arrives anyway and is
+        // silently discarded (the paper's documented deviation); the
+        // enclosures it carried are lost with it.
+        --ls.stale_replies_expected;
+        for (LinkHandle h : handles) drop_link(h);
+        return;
+      }
+      if (ls.active_call != nullptr) {
+        CallRecord* rec = ls.active_call;
+        rec->reply = std::move(d);
+        rec->wake->fulfill(0);
+        return;
+      }
+      ls.reply_q.push_back(std::move(d));
+      return;
+    }
+
+    case BackendEvent::Kind::kLinkDestroyed: {
+      ls.destroyed = true;
+      if (ls.active_call != nullptr) {
+        ls.active_call->failed = true;
+        ls.active_call->error = ErrorKind::kLinkDestroyed;
+        ls.active_call->wake->fulfill(0);
+        ls.active_call = nullptr;
+      }
+      receive_waiters_->wake_all();
+      return;
+    }
+  }
+}
+
+std::vector<BLink> Process::check_and_stage_enclosures(
+    const Message& m, LinkHandle carrier,
+    const std::vector<LinkHandle>& handles) {
+  (void)m;
+  std::vector<BLink> blinks;
+  blinks.reserve(handles.size());
+  for (LinkHandle h : handles) {
+    if (h == carrier) {
+      throw LynxError(ErrorKind::kLinkBusy, "cannot enclose carrier end");
+    }
+    LinkState* enc = find_link(h);
+    if (enc == nullptr) {
+      throw LynxError(ErrorKind::kInvalidLink, "enclosure not owned");
+    }
+    if (enc->destroyed) {
+      throw LynxError(ErrorKind::kLinkDestroyed, "enclosure destroyed");
+    }
+    // §2.1: may not move an end with unreceived sent messages or owed
+    // replies; we also refuse while local queues hold undelivered
+    // messages or a call is outstanding.
+    if (enc->owed_replies > 0 || enc->sends_in_flight > 0 ||
+        enc->active_call != nullptr || !enc->request_q.empty() ||
+        !enc->reply_q.empty()) {
+      throw LynxError(ErrorKind::kLinkBusy, "enclosure has traffic");
+    }
+    blinks.push_back(enc->blink);
+  }
+  return blinks;
+}
+
+// ===================== ThreadCtx =====================
+
+void ThreadCtx::check_abort() {
+  auto& ts = proc_->threads_.at(id_);
+  if (ts.abort_requested) {
+    ts.abort_requested = false;
+    throw LynxError(ErrorKind::kAborted, "thread aborted");
+  }
+}
+
+sim::Task<void> ThreadCtx::delay(sim::Duration d) {
+  check_abort();
+  co_await engine().sleep(d);
+  check_abort();
+}
+
+sim::Task<LocalLinkPair> ThreadCtx::new_link() {
+  check_abort();
+  co_await engine().sleep(proc_->costs_.per_operation);
+  auto [b1, b2] = co_await proc_->backend_->make_link();
+  co_return LocalLinkPair{proc_->adopt_link(b1), proc_->adopt_link(b2)};
+}
+
+sim::Task<void> ThreadCtx::destroy(LinkHandle link) {
+  check_abort();
+  Process::LinkState& ls = proc_->require_link(link);
+  co_await engine().sleep(proc_->costs_.per_operation);
+  if (!ls.destroyed) {
+    co_await proc_->backend_->destroy(ls.blink);
+  }
+  proc_->drop_link(link);
+}
+
+void ThreadCtx::enable_requests(LinkHandle link) {
+  Process::LinkState& ls = proc_->require_link(link);
+  if (ls.destroyed) {
+    throw LynxError(ErrorKind::kLinkDestroyed, "enable on destroyed link");
+  }
+  ls.open_requests = true;
+  proc_->refresh_interest(ls);
+}
+
+void ThreadCtx::disable_requests(LinkHandle link) {
+  Process::LinkState& ls = proc_->require_link(link);
+  ls.open_requests = false;
+  if (!ls.destroyed) proc_->refresh_interest(ls);
+}
+
+sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
+  check_abort();
+  Process& p = *proc_;
+  {
+    Process::LinkState& ls = p.require_link(link);
+    if (ls.destroyed) {
+      throw LynxError(ErrorKind::kLinkDestroyed, "call on destroyed link");
+    }
+    // One outstanding call per link: later callers queue (their sends
+    // would violate stop-and-wait anyway).  The claim is taken
+    // synchronously, BEFORE the gather sleep, so concurrent callers
+    // cannot slip past the check while this one is still marshalling.
+    while (true) {
+      Process::LinkState* cur = p.find_link(link);
+      if (cur == nullptr || cur->destroyed) {
+        throw LynxError(ErrorKind::kLinkDestroyed, "link vanished");
+      }
+      if (!cur->call_claimed && cur->active_call == nullptr &&
+          cur->sends_in_flight == 0) {
+        cur->call_claimed = true;
+        break;
+      }
+      co_await cur->call_serializer->wait();
+      check_abort();
+    }
+  }
+
+  // gather + type bookkeeping
+  Serialized ser = serialize(request);
+  co_await engine().sleep(
+      p.costs_.per_operation +
+      p.costs_.per_byte * static_cast<sim::Duration>(ser.body.size()));
+
+  struct ClaimGuard {
+    Process* p;
+    LinkHandle link;
+    bool armed = true;
+    void release() {
+      if (!armed) return;
+      armed = false;
+      if (auto* cur = p->find_link(link)) {
+        cur->call_claimed = false;
+        cur->call_serializer->wake_one();
+      }
+    }
+    ~ClaimGuard() { release(); }
+  } claim{&p, link};
+
+  Process::LinkState& ls = p.require_link(link);
+  std::vector<BLink> blinks =
+      p.check_and_stage_enclosures(request, link, ser.enclosures);
+
+  // "A now expects a reply on L and starts a receive activity": the
+  // reply queue opens when the request is SENT (paper §2.1/§3.2.1),
+  // which is exactly what makes unwanted deliveries possible on
+  // Charlotte.
+  p.backend_->set_interest(ls.blink, ls.open_requests, true);
+  auto ps = p.backend_->begin_send(
+      ls.blink, WireMessage{MsgKind::kRequest, ser.body, blinks});
+  auto& ts = p.threads_.at(id_);
+  ts.current_send = ps.get();
+  ++ls.sends_in_flight;
+  SendOutcome out = co_await ps->wait();
+  ts.current_send = nullptr;
+  {
+    Process::LinkState* cur = p.find_link(link);
+    if (cur != nullptr) --cur->sends_in_flight;
+  }
+
+  switch (out.result) {
+    case SendResult::kDelivered:
+      for (LinkHandle h : ser.enclosures) p.drop_link(h);
+      break;
+    case SendResult::kCancelled: {
+      // Enclosures come back unless the backend lost them (Charlotte).
+      for (BLink lost : out.lost_enclosures) {
+        if (auto it = p.by_blink_.find(lost); it != p.by_blink_.end()) {
+          p.drop_link(it->second);
+        }
+      }
+      if (auto* cur = p.find_link(link)) p.refresh_interest(*cur);
+      ts.abort_requested = false;
+      throw LynxError(ErrorKind::kAborted, "request aborted in flight");
+    }
+    case SendResult::kLinkDestroyed: {
+      if (auto* cur = p.find_link(link)) cur->destroyed = true;
+      throw LynxError(ErrorKind::kLinkDestroyed, "request undeliverable");
+    }
+    case SendResult::kReplyUnwanted:
+      RELYNX_ASSERT_MSG(false, "request cannot be an unwanted reply");
+  }
+
+  // ---- await the reply (block point) ---------------------------------
+  Process::LinkState* lsp = p.find_link(link);
+  if (lsp == nullptr || lsp->destroyed) {
+    throw LynxError(ErrorKind::kLinkDestroyed, "link died before reply");
+  }
+  Process::Delivered reply_msg{};
+  if (!lsp->reply_q.empty()) {
+    reply_msg = std::move(lsp->reply_q.front());
+    lsp->reply_q.pop_front();
+  } else {
+    sim::OneShot<int> wake(engine());
+    Process::CallRecord rec;
+    rec.wake = &wake;
+    lsp->active_call = &rec;
+    ts.awaiting_reply_on = link;
+    p.refresh_interest(*lsp);
+    (void)co_await wake.take();
+    ts.awaiting_reply_on = LinkHandle::invalid();
+    if (auto* cur = p.find_link(link)) {
+      cur->active_call = nullptr;
+      if (!cur->destroyed) p.refresh_interest(*cur);
+    }
+    if (rec.failed) {
+      if (rec.error == ErrorKind::kAborted) ts.abort_requested = false;
+      throw LynxError(rec.error, "call failed awaiting reply");
+    }
+    RELYNX_ASSERT(rec.reply.has_value());
+    reply_msg = std::move(*rec.reply);
+  }
+
+  // scatter + type check
+  co_await engine().sleep(
+      p.costs_.per_operation +
+      p.costs_.per_byte *
+          static_cast<sim::Duration>(reply_msg.raw_body.size()));
+  if (reply_msg.msg.op == "%reject") {
+    throw LynxError(ErrorKind::kOperationRejected, request.op);
+  }
+  if (reply_msg.msg.op != request.op) {
+    throw LynxError(ErrorKind::kTypeClash,
+                    "reply op '" + reply_msg.msg.op + "' for request '" +
+                        request.op + "'");
+  }
+  ++p.ops_;
+  check_abort();
+  co_return reply_msg.msg;
+}
+
+sim::Task<Incoming> ThreadCtx::receive() {
+  Process& p = *proc_;
+  for (;;) {
+    check_abort();
+    if (p.terminated_) {
+      throw LynxError(ErrorKind::kLinkDestroyed, "process terminated");
+    }
+    // Fair scan: rotate over links, starting past the last served one.
+    const std::size_t n = p.fair_order_.size();
+    bool any_open_alive = false;
+    bool any_open = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = (p.fair_cursor_ + k) % n;
+      Process::LinkState* ls = p.find_link(p.fair_order_[idx]);
+      if (ls == nullptr || !ls->open_requests) continue;
+      any_open = true;
+      if (!ls->destroyed) any_open_alive = true;
+      if (ls->request_q.empty()) continue;
+
+      Process::Delivered d = std::move(ls->request_q.front());
+      ls->request_q.pop_front();
+      p.fair_cursor_ = idx + 1;
+      co_await engine().sleep(
+          p.costs_.per_operation +
+          p.costs_.per_byte * static_cast<sim::Duration>(d.raw_body.size()));
+      const std::uint64_t token = p.next_token_++;
+      p.owed_[token] = ls->handle;
+      ++ls->owed_replies;
+      ++p.ops_;
+      co_return Incoming{ls->handle, std::move(d.msg), token};
+    }
+    if (any_open && !any_open_alive) {
+      throw LynxError(ErrorKind::kLinkDestroyed,
+                      "all open request queues destroyed");
+    }
+    co_await p.receive_waiters_->wait();
+  }
+}
+
+sim::Task<void> ThreadCtx::reply(const Incoming& incoming, Message reply_msg) {
+  check_abort();
+  Process& p = *proc_;
+  auto owed = p.owed_.find(incoming.token);
+  if (owed == p.owed_.end()) {
+    throw LynxError(ErrorKind::kInvalidLink, "no such reply obligation");
+  }
+  const LinkHandle link = owed->second;
+  Process::LinkState* ls = p.find_link(link);
+  if (ls == nullptr || ls->destroyed) {
+    p.owed_.erase(owed);
+    throw LynxError(ErrorKind::kLinkDestroyed, "reply on destroyed link");
+  }
+
+  reply_msg.op = incoming.msg.op;  // replies answer the operation called
+  Serialized ser = serialize(reply_msg);
+  co_await engine().sleep(
+      p.costs_.per_operation +
+      p.costs_.per_byte * static_cast<sim::Duration>(ser.body.size()));
+  std::vector<BLink> blinks =
+      p.check_and_stage_enclosures(reply_msg, link, ser.enclosures);
+
+  auto ps = p.backend_->begin_send(
+      ls->blink, WireMessage{MsgKind::kReply, ser.body, blinks});
+  auto& ts = p.threads_.at(id_);
+  ts.current_send = ps.get();
+  ++ls->sends_in_flight;
+  SendOutcome out = co_await ps->wait();
+  ts.current_send = nullptr;
+  if (auto* cur = p.find_link(link)) {
+    --cur->sends_in_flight;
+    cur->call_serializer->wake_one();
+  }
+  p.owed_.erase(incoming.token);
+  if (auto* cur = p.find_link(link); cur != nullptr) --cur->owed_replies;
+
+  switch (out.result) {
+    case SendResult::kDelivered:
+      for (LinkHandle h : ser.enclosures) p.drop_link(h);
+      ++p.ops_;
+      co_return;
+    case SendResult::kCancelled:
+      throw LynxError(ErrorKind::kAborted, "reply aborted in flight");
+    case SendResult::kLinkDestroyed:
+      throw LynxError(ErrorKind::kLinkDestroyed, "reply undeliverable");
+    case SendResult::kReplyUnwanted:
+      // Capability (4): SODA/Chrysalis backends detect an aborted
+      // caller; the server feels the exception the language defines.
+      throw LynxError(ErrorKind::kReplyUnwanted, incoming.msg.op);
+  }
+}
+
+}  // namespace lynx

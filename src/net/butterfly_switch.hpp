@@ -1,0 +1,68 @@
+// The BBN Butterfly switch: a cost model for remote memory access.
+//
+// The Butterfly is a shared-memory machine; Chrysalis processes do not
+// exchange frames, they touch memory objects that may live on another
+// node's memory board, reached through a log4(N)-stage switch.  What the
+// simulation needs is the *cost* of those touches: a per-reference setup
+// time that grows with the number of switch stages, plus a per-byte
+// block-transfer rate (the Butterfly had microcoded block copy).
+//
+// Calibration targets §5.3: a null LYNX RPC at ~2.4 ms and +1000 B in
+// both directions adding ~2.2 ms, i.e. roughly 1.1 us/byte end to end.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "sim/time.hpp"
+
+namespace net {
+
+struct ButterflyParams {
+  std::uint32_t nodes = 16;
+  sim::Duration local_reference = sim::nsec(600);    // 68000 memory cycle
+  sim::Duration hop_latency = sim::usec(4);          // per switch stage
+  sim::Duration per_byte_block = sim::nsec(420);     // microcoded copy
+  sim::Duration switch_setup = sim::usec(6);         // path establishment
+};
+
+class ButterflyFabric {
+ public:
+  explicit ButterflyFabric(ButterflyParams params = {}) : params_(params) {
+    RELYNX_ASSERT(params_.nodes >= 1);
+    // ceil(log4(nodes)) switch stages
+    stages_ = 0;
+    std::uint32_t span = 1;
+    while (span < params_.nodes) {
+      span *= 4;
+      ++stages_;
+    }
+  }
+
+  [[nodiscard]] std::uint32_t stages() const { return stages_; }
+
+  // One remote word reference (read or write of <= 4 bytes).
+  [[nodiscard]] sim::Duration word_reference(bool remote) const {
+    if (!remote) return params_.local_reference;
+    return params_.switch_setup + params_.hop_latency * stages_ +
+           params_.local_reference;
+  }
+
+  // Block transfer of `bytes` between a processor and a (possibly
+  // remote) memory object.
+  [[nodiscard]] sim::Duration block_transfer(std::size_t bytes,
+                                             bool remote) const {
+    sim::Duration setup = remote
+                              ? params_.switch_setup +
+                                    params_.hop_latency * stages_
+                              : params_.local_reference;
+    return setup + params_.per_byte_block *
+                       static_cast<sim::Duration>(bytes);
+  }
+
+ private:
+  ButterflyParams params_;
+  std::uint32_t stages_ = 0;
+};
+
+}  // namespace net

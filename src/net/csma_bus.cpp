@@ -1,0 +1,74 @@
+#include "net/csma_bus.hpp"
+
+#include <algorithm>
+
+namespace net {
+
+void CsmaBus::attach(NodeId node, FrameHandler handler) {
+  RELYNX_ASSERT_MSG(!handlers_.contains(node), "node attached twice");
+  handlers_.emplace(node, std::move(handler));
+}
+
+void CsmaBus::send(Frame frame) {
+  RELYNX_ASSERT_MSG(handlers_.contains(frame.dst), "send to unattached node");
+  try_transmit(std::move(frame), /*is_broadcast=*/false, /*attempt=*/0);
+}
+
+void CsmaBus::broadcast(Frame frame) {
+  frame.dst = NodeId::invalid();
+  try_transmit(std::move(frame), /*is_broadcast=*/true, /*attempt=*/0);
+}
+
+sim::Duration CsmaBus::backoff_delay(int attempt) {
+  const int exponent = std::min(attempt, params_.max_backoff_exponent);
+  const std::uint64_t window = 1ULL << exponent;
+  return params_.slot_time *
+         static_cast<sim::Duration>(1 + rng_.next_below(window));
+}
+
+void CsmaBus::try_transmit(Frame frame, bool is_broadcast, int attempt) {
+  if (busy_) {
+    ++backoffs_;
+    engine_->schedule(
+        backoff_delay(attempt),
+        [this, f = std::move(frame), is_broadcast, attempt]() mutable {
+          try_transmit(std::move(f), is_broadcast, attempt + 1);
+        });
+    return;
+  }
+  busy_ = true;
+  ++frames_;
+  bytes_ += frame.payload_bytes;
+  const sim::Duration service = clock_out_time(frame.payload_bytes);
+  engine_->schedule(service, [this, f = std::move(frame), is_broadcast] {
+    busy_ = false;
+    deliver(f, is_broadcast);
+  });
+}
+
+void CsmaBus::deliver(const Frame& frame, bool is_broadcast) {
+  if (!is_broadcast) {
+    if (params_.unicast_drop_prob > 0.0 &&
+        rng_.next_bool(params_.unicast_drop_prob)) {
+      ++drops_;
+      return;
+    }
+    auto it = handlers_.find(frame.dst);
+    RELYNX_ASSERT(it != handlers_.end());
+    engine_->schedule(params_.propagation,
+                      [h = &it->second, f = frame] { (*h)(f); });
+    return;
+  }
+  for (auto& [node, handler] : handlers_) {
+    if (node == frame.src) continue;
+    if (params_.broadcast_drop_prob > 0.0 &&
+        rng_.next_bool(params_.broadcast_drop_prob)) {
+      ++drops_;
+      continue;
+    }
+    engine_->schedule(params_.propagation,
+                      [h = &handler, f = frame] { (*h)(f); });
+  }
+}
+
+}  // namespace net

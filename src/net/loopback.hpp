@@ -1,0 +1,54 @@
+// A perfect medium: fixed latency, no queueing, no loss.
+//
+// Used by unit tests that exercise kernel protocol logic without wanting
+// a wire model in the way.
+#pragma once
+
+#include <unordered_map>
+
+#include "net/packet.hpp"
+#include "sim/engine.hpp"
+
+namespace net {
+
+class Loopback final : public Medium {
+ public:
+  Loopback(sim::Engine& engine, sim::Duration latency)
+      : engine_(&engine), latency_(latency) {}
+
+  void attach(NodeId node, FrameHandler handler) override {
+    RELYNX_ASSERT_MSG(!handlers_.contains(node), "node attached twice");
+    handlers_.emplace(node, std::move(handler));
+  }
+
+  void send(Frame frame) override {
+    ++frames_;
+    bytes_ += frame.payload_bytes;
+    auto it = handlers_.find(frame.dst);
+    RELYNX_ASSERT_MSG(it != handlers_.end(), "send to unattached node");
+    engine_->schedule(latency_, [handler = &it->second,
+                                 f = std::move(frame)] { (*handler)(f); });
+  }
+
+  void broadcast(Frame frame) override {
+    ++frames_;
+    bytes_ += frame.payload_bytes;
+    for (auto& [node, handler] : handlers_) {
+      if (node == frame.src) continue;
+      engine_->schedule(latency_,
+                        [h = &handler, f = frame] { (*h)(f); });
+    }
+  }
+
+  [[nodiscard]] std::uint64_t frames_sent() const override { return frames_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const override { return bytes_; }
+
+ private:
+  sim::Engine* engine_;
+  sim::Duration latency_;
+  std::unordered_map<NodeId, FrameHandler> handlers_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace net

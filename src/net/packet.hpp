@@ -1,0 +1,63 @@
+// Frames and the medium interface.
+//
+// The three kernels talk to each other through a Medium: the Crystal
+// token ring for Charlotte, the SODA CSMA bus, and a perfect loopback
+// for unit tests.  A Frame's body is a type-erased kernel-level message;
+// payload_bytes is what the medium charges for (headers are the medium's
+// own business).
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/strong_id.hpp"
+#include "sim/time.hpp"
+
+namespace net {
+
+struct NodeTag {
+  static const char* prefix() { return "node"; }
+};
+using NodeId = common::StrongId<NodeTag, std::uint32_t>;
+
+struct Frame {
+  NodeId src;
+  NodeId dst;  // ignored for broadcast
+  std::size_t payload_bytes = 0;
+  std::any body;
+
+  template <typename T>
+  [[nodiscard]] const T& as() const {
+    const T* p = std::any_cast<T>(&body);
+    RELYNX_ASSERT_MSG(p != nullptr, "frame body has unexpected type");
+    return *p;
+  }
+};
+
+// Delivery callback, invoked in simulated time at the receiving node.
+using FrameHandler = std::function<void(const Frame&)>;
+
+class Medium {
+ public:
+  virtual ~Medium() = default;
+
+  // Registers the receive handler for a node.  Must be called once per
+  // node before any traffic involving it.
+  virtual void attach(NodeId node, FrameHandler handler) = 0;
+
+  // Queues a unicast frame.  Delivery obeys the medium's timing model.
+  virtual void send(Frame frame) = 0;
+
+  // Queues a broadcast; delivered to every attached node except the
+  // sender.  Reliability is medium-specific (the CSMA bus may drop).
+  virtual void broadcast(Frame frame) = 0;
+
+  // Observability for experiments.
+  [[nodiscard]] virtual std::uint64_t frames_sent() const = 0;
+  [[nodiscard]] virtual std::uint64_t bytes_sent() const = 0;
+};
+
+}  // namespace net

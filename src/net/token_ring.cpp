@@ -1,0 +1,56 @@
+#include "net/token_ring.hpp"
+
+namespace net {
+
+void TokenRing::attach(NodeId node, FrameHandler handler) {
+  RELYNX_ASSERT_MSG(!handlers_.contains(node), "node attached twice");
+  handlers_.emplace(node, std::move(handler));
+}
+
+void TokenRing::send(Frame frame) {
+  RELYNX_ASSERT_MSG(handlers_.contains(frame.dst), "send to unattached node");
+  backlog_.push_back(std::move(frame));
+  if (!busy_) start_next();
+}
+
+void TokenRing::broadcast(Frame frame) {
+  // The ring delivers a broadcast frame to every station in one rotation;
+  // model as one transmission fanned out at completion.
+  frame.dst = NodeId::invalid();
+  backlog_.push_back(std::move(frame));
+  if (!busy_) start_next();
+}
+
+void TokenRing::start_next() {
+  if (backlog_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Frame frame = std::move(backlog_.front());
+  backlog_.pop_front();
+  ++frames_;
+  bytes_ += frame.payload_bytes;
+  const sim::Duration service = service_time(frame.payload_bytes);
+  engine_->schedule(service, [this, f = std::move(frame)] {
+    deliver(f);
+    start_next();
+  });
+}
+
+void TokenRing::deliver(const Frame& frame) {
+  if (frame.dst.valid()) {
+    auto it = handlers_.find(frame.dst);
+    RELYNX_ASSERT(it != handlers_.end());
+    engine_->schedule(params_.propagation,
+                      [h = &it->second, f = frame] { (*h)(f); });
+    return;
+  }
+  for (auto& [node, handler] : handlers_) {
+    if (node == frame.src) continue;
+    engine_->schedule(params_.propagation,
+                      [h = &handler, f = frame] { (*h)(f); });
+  }
+}
+
+}  // namespace net

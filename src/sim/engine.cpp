@@ -1,0 +1,97 @@
+#include "sim/engine.hpp"
+
+#include <ostream>
+
+namespace sim {
+
+Engine::~Engine() {
+  // Destroy any still-suspended process frames (servers parked at a block
+  // point when the experiment ended).  Destroying the root frame unwinds
+  // nested Task frames because each child Task object lives inside its
+  // awaiter's frame.  Promise destructors mutate roots_, so detach first.
+  auto roots = std::move(roots_);
+  roots_.clear();
+  for (auto& [id, handle] : roots) {
+    (void)id;
+    if (handle && !handle.done()) handle.destroy();
+  }
+}
+
+void Engine::schedule(Duration delay, std::function<void()> fn) {
+  RELYNX_ASSERT_MSG(delay >= 0, "cannot schedule into the past");
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Engine::schedule_at(Time t, std::function<void()> fn) {
+  RELYNX_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+TimerHandle Engine::schedule_cancellable(Duration delay,
+                                         std::function<void()> fn) {
+  auto alive = std::make_shared<bool>(true);
+  TimerHandle handle(alive);
+  schedule(delay, [alive = std::move(alive), fn = std::move(fn)] {
+    if (*alive) {
+      *alive = false;
+      fn();
+    }
+  });
+  return handle;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // The stored std::function must outlive the queue slot: the callback
+  // may schedule new events, invalidating the queue's top reference.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  RELYNX_ASSERT(ev.at >= now_);
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+void Engine::run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) {
+  }
+}
+
+bool Engine::run_until(Time deadline) {
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    if (queue_.empty()) return true;
+    if (queue_.top().at > deadline) return false;
+    step();
+  }
+  return false;
+}
+
+Engine::Root Engine::drive(std::uint64_t id, std::string name, Task<> body) {
+  (void)id;
+  ++live_;
+  try {
+    co_await std::move(body);
+  } catch (const std::exception& e) {
+    failures_.push_back(name + ": " + e.what());
+  } catch (...) {
+    failures_.push_back(name + ": non-standard exception");
+  }
+  --live_;
+}
+
+void Engine::spawn(std::string name, Task<> body) {
+  RELYNX_ASSERT_MSG(body.valid(), "spawn of empty task");
+  const std::uint64_t id = next_root_++;
+  Root root = drive(id, std::move(name), std::move(body));
+  schedule(0, [h = root.handle] { h.resume(); });
+}
+
+void Engine::trace(const char* category, const std::string& message) {
+  if (!trace_os_) return;
+  *trace_os_ << "[" << to_usec(now_) << "us] " << category << ": " << message
+             << "\n";
+}
+
+}  // namespace sim

@@ -1,0 +1,165 @@
+// The deterministic discrete-event engine.
+//
+// One Engine per experiment.  Events are (time, sequence) ordered, so two
+// events at the same instant fire in scheduling order and a run is a pure
+// function of its inputs (seed and parameters).  Simulated "processes"
+// are Task<void> coroutines spawned onto the engine; everything they do
+// — sleeping, kernel calls, message waits — is expressed as awaitables
+// that park the coroutine and schedule its resumption.
+//
+// The engine is strictly single-threaded; host-level parallelism lives in
+// sweep::, which runs many independent Engines on a thread pool.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace sim {
+
+class Engine;
+
+// Cancellable handle to a scheduled event (retry timers and the like).
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  void cancel() {
+    if (alive_) *alive_ = false;
+  }
+  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+ private:
+  explicit TimerHandle(std::shared_ptr<bool> alive)
+      : alive_(std::move(alive)) {}
+  std::shared_ptr<bool> alive_;
+  friend class Engine;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  // -- raw event interface --------------------------------------------
+  void schedule(Duration delay, std::function<void()> fn);
+  TimerHandle schedule_cancellable(Duration delay, std::function<void()> fn);
+  void schedule_at(Time t, std::function<void()> fn);
+
+  // -- run loop --------------------------------------------------------
+  // Runs until the event queue is empty or `stop()` was called.
+  void run();
+  // Runs until simulated time would exceed `deadline`; events at exactly
+  // `deadline` still fire.  Returns true if the queue drained.
+  bool run_until(Time deadline);
+  // Fires a single event; returns false when the queue is empty.
+  bool step();
+  void stop() { stop_requested_ = true; }
+
+  // -- coroutine processes ----------------------------------------------
+  // Starts `body` as a detached simulated process at the current time.
+  // The name appears in failure reports.  Processes that exit by
+  // exception are recorded, not fatal, so tests can assert on them.
+  void spawn(std::string name, Task<> body);
+
+  [[nodiscard]] std::size_t live_processes() const { return live_; }
+  [[nodiscard]] const std::vector<std::string>& process_failures() const {
+    return failures_;
+  }
+
+  // Awaitable: suspend the calling coroutine for `d` of simulated time.
+  // d == 0 still yields through the event queue (a fairness point).
+  [[nodiscard]] auto sleep(Duration d) {
+    struct SleepAwaiter {
+      Engine* engine;
+      Duration d;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<> h) const {
+        engine->schedule(d, [h] { h.resume(); });
+      }
+      void await_resume() const noexcept {}
+    };
+    RELYNX_ASSERT(d >= 0);
+    return SleepAwaiter{this, d};
+  }
+
+  // -- tracing -----------------------------------------------------------
+  void set_trace(std::ostream* os) { trace_os_ = os; }
+  [[nodiscard]] bool tracing() const { return trace_os_ != nullptr; }
+  void trace(const char* category, const std::string& message);
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Root driver for spawned processes.  Detached: the frame lives until
+  // the body finishes (then unregisters itself) or the engine is
+  // destroyed (then the engine destroys it).
+  struct Root {
+    struct promise_type;
+    std::coroutine_handle<> handle;
+  };
+  Root drive(std::uint64_t id, std::string name, Task<> body);
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  bool stop_requested_ = false;
+
+  std::size_t live_ = 0;
+  std::uint64_t next_root_ = 0;
+  std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
+  std::vector<std::string> failures_;
+  std::ostream* trace_os_ = nullptr;
+};
+
+struct Engine::Root::promise_type {
+  Engine* engine = nullptr;
+  std::uint64_t id = 0;
+
+  // The driver coroutine is a member coroutine of Engine: parameters are
+  // (Engine* this, id, name, body).
+  promise_type(Engine& e, std::uint64_t root_id, std::string&, Task<>&)
+      : engine(&e), id(root_id) {}
+
+  Root get_return_object() {
+    auto h = std::coroutine_handle<promise_type>::from_promise(*this);
+    engine->roots_.emplace(id, h);
+    return Root{h};
+  }
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  std::suspend_never final_suspend() noexcept { return {}; }
+  void return_void() {}
+  void unhandled_exception() {
+    // drive() catches everything; reaching here is a bug.
+    RELYNX_ASSERT_MSG(false, "engine root leaked an exception");
+  }
+  ~promise_type() {
+    // Frame is being destroyed: either normal completion (final_suspend
+    // never suspends) or engine teardown.  Unregister in both cases.
+    if (engine) engine->roots_.erase(id);
+  }
+};
+
+}  // namespace sim

@@ -1,0 +1,151 @@
+// Measurement helpers: scalar accumulators, histograms, (x, y) series.
+//
+// Benchmarks accumulate simulated-time observations here and print the
+// paper-style tables from them.  Welford's algorithm keeps the variance
+// numerically stable over long runs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace sim {
+
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double total() const {
+    return mean_ * static_cast<double>(n_);
+  }
+
+  void merge(const Accumulator& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    mean_ = (na * mean_ + nb * other.mean_) / (na + nb);
+    m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Power-of-two bucketed histogram for latency-style observations (>= 0).
+class Histogram {
+ public:
+  void add(double x) {
+    acc_.add(x);
+    std::size_t b = 0;
+    double bound = 1.0;
+    while (x >= bound && b + 1 < kBuckets) {
+      bound *= 2.0;
+      ++b;
+    }
+    ++buckets_[b];
+  }
+
+  [[nodiscard]] const Accumulator& summary() const { return acc_; }
+
+  // Approximate quantile from bucket midpoints; exact enough for reporting.
+  [[nodiscard]] double quantile(double q) const {
+    RELYNX_ASSERT(q >= 0.0 && q <= 1.0);
+    const auto n = acc_.count();
+    if (n == 0) return 0.0;
+    auto target = static_cast<std::int64_t>(q * static_cast<double>(n - 1));
+    double lo = 0.0, hi = 1.0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (target < buckets_[b]) return (lo + hi) / 2.0;
+      target -= buckets_[b];
+      lo = hi;
+      hi *= 2.0;
+    }
+    return acc_.max();
+  }
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+  std::int64_t buckets_[kBuckets] = {};
+  Accumulator acc_;
+};
+
+// Named (x, y) series for figure-style sweeps.
+struct SeriesPoint {
+  double x;
+  double y;
+};
+
+class Series {
+ public:
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  void add(double x, double y) { points_.push_back({x, y}); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<SeriesPoint>& points() const {
+    return points_;
+  }
+
+  // x of the first point where this series' y rises above other's
+  // (linear interpolation between samples); NaN when it never crosses.
+  [[nodiscard]] double crossover_x(const Series& other) const;
+
+ private:
+  std::string name_;
+  std::vector<SeriesPoint> points_;
+};
+
+inline double Series::crossover_x(const Series& other) const {
+  const auto& a = points_;
+  const auto& b = other.points_;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 1; i < n; ++i) {
+    RELYNX_ASSERT_MSG(a[i].x == b[i].x, "series must share x samples");
+    const double d0 = a[i - 1].y - b[i - 1].y;
+    const double d1 = a[i].y - b[i].y;
+    if (d0 > 0.0 && d1 <= 0.0) {
+      // falling crossover (this series drops below other)
+      const double t = d0 / (d0 - d1);
+      return a[i - 1].x + t * (a[i].x - a[i - 1].x);
+    }
+    if (d0 < 0.0 && d1 >= 0.0) {
+      const double t = -d0 / (d1 - d0);
+      return a[i - 1].x + t * (a[i].x - a[i - 1].x);
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+}  // namespace sim

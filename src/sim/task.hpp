@@ -1,0 +1,170 @@
+// sim::Task<T> — the coroutine type for all simulated code.
+//
+// Tasks are lazy (they do not run until awaited or explicitly started)
+// and chain continuations with symmetric transfer, so a simulated
+// process can call "kernel routines" that are themselves coroutines with
+// plain `co_await kernel.send(...)` syntax and no scheduler round trips
+// on call/return.  Exceptions propagate across co_await exactly like
+// ordinary calls, which is how LYNX run-time exceptions are delivered.
+//
+// Coroutine hygiene (CppCoreGuidelines CP.coro): process bodies are free
+// functions or member functions, never capturing lambdas; parameters
+// that must survive a suspension are taken by value.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+#include <variant>
+
+#include "common/assert.hpp"
+
+namespace sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) const noexcept {
+    return h.promise().continuation;
+  }
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation = std::noop_coroutine();
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+};
+
+}  // namespace detail
+
+// Task<T>: a coroutine producing one T (or void) when awaited.
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::variant<std::monostate, T, std::exception_ptr> outcome;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { outcome.template emplace<1>(std::move(v)); }
+    void unhandled_exception() {
+      outcome.template emplace<2>(std::current_exception());
+    }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  [[nodiscard]] bool valid() const { return h_ != nullptr; }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) const noexcept {
+        h.promise().continuation = cont;
+        return h;  // symmetric transfer into the child
+      }
+      T await_resume() const {
+        auto& outcome = h.promise().outcome;
+        if (outcome.index() == 2) {
+          std::rethrow_exception(std::get<2>(outcome));
+        }
+        RELYNX_ASSERT_MSG(outcome.index() == 1,
+                          "task awaited before completion");
+        return std::move(std::get<1>(outcome));
+      }
+    };
+    RELYNX_ASSERT_MSG(h_, "co_await on empty Task");
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(Handle h) : h_(h) {}
+  Handle h_ = nullptr;
+  template <typename>
+  friend class Task;
+  friend class Engine;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : detail::PromiseBase {
+    std::exception_ptr error;
+    bool done = false;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() { done = true; }
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+
+  using Handle = std::coroutine_handle<promise_type>;
+
+  Task() = default;
+  Task(Task&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      if (h_) h_.destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() {
+    if (h_) h_.destroy();
+  }
+
+  [[nodiscard]] bool valid() const { return h_ != nullptr; }
+
+  auto operator co_await() && {
+    struct Awaiter {
+      Handle h;
+      bool await_ready() const noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> cont) const noexcept {
+        h.promise().continuation = cont;
+        return h;
+      }
+      void await_resume() const {
+        if (h.promise().error) std::rethrow_exception(h.promise().error);
+      }
+    };
+    RELYNX_ASSERT_MSG(h_, "co_await on empty Task");
+    return Awaiter{h_};
+  }
+
+ private:
+  explicit Task(Handle h) : h_(h) {}
+  Handle h_ = nullptr;
+  friend class Engine;
+};
+
+}  // namespace sim

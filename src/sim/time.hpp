@@ -1,0 +1,41 @@
+// Simulated time.
+//
+// The whole reproduction is a deterministic discrete-event simulation;
+// simulated time is a signed 64-bit count of nanoseconds.  That gives
+// ~292 years of range, far beyond any experiment here, with enough
+// resolution for Chrysalis's microcoded operations (microsecond scale)
+// and the bit times of a 10 Mbit/s ring (100 ns/bit).
+#pragma once
+
+#include <cstdint>
+
+namespace sim {
+
+using Time = std::int64_t;      // absolute simulated nanoseconds
+using Duration = std::int64_t;  // simulated nanoseconds
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+[[nodiscard]] constexpr Duration nsec(std::int64_t n) { return n; }
+[[nodiscard]] constexpr Duration usec(std::int64_t n) { return n * kMicrosecond; }
+[[nodiscard]] constexpr Duration msec(std::int64_t n) { return n * kMillisecond; }
+[[nodiscard]] constexpr Duration sec(std::int64_t n) { return n * kSecond; }
+
+[[nodiscard]] constexpr double to_usec(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+[[nodiscard]] constexpr double to_msec(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+// Time to clock `bits` onto a medium of `bits_per_second`.
+[[nodiscard]] constexpr Duration transmission_time(std::int64_t bits,
+                                                   std::int64_t bits_per_second) {
+  // round up to whole nanoseconds
+  return (bits * kSecond + bits_per_second - 1) / bits_per_second;
+}
+
+}  // namespace sim

@@ -1,0 +1,428 @@
+#include "soda/kernel.hpp"
+
+#include <algorithm>
+
+namespace soda {
+
+// ===================== Network =====================
+
+Network::Network(sim::Engine& engine, std::size_t nodes, sim::Rng rng,
+                 net::CsmaBusParams bus_params, Costs costs)
+    : engine_(&engine),
+      costs_(costs),
+      bus_(std::make_unique<net::CsmaBus>(engine, rng, bus_params)) {
+  kernels_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    kernels_.push_back(std::make_unique<Kernel>(
+        *this, net::NodeId(static_cast<std::uint32_t>(i))));
+  }
+}
+
+Network::~Network() = default;
+
+Kernel& Network::kernel(net::NodeId node) {
+  RELYNX_ASSERT(node.value() < kernels_.size());
+  return *kernels_[node.value()];
+}
+
+Pid Network::create_process(net::NodeId node) {
+  const Pid pid = pids_.next();
+  process_node_.emplace(pid, node);
+  kernel(node).register_process(pid);
+  return pid;
+}
+
+Kernel& Network::kernel_of(Pid pid) { return kernel(node_of(pid)); }
+
+net::NodeId Network::node_of(Pid pid) const {
+  auto it = process_node_.find(pid);
+  RELYNX_ASSERT_MSG(it != process_node_.end(), "unknown pid");
+  return it->second;
+}
+
+bool Network::alive(Pid pid) const {
+  return process_node_.contains(pid) && !dead_.contains(pid);
+}
+
+void Network::terminate(Pid pid) {
+  if (!alive(pid)) return;
+  dead_.insert(pid);
+  kernel_of(pid).terminate_process(pid);
+}
+
+std::uint64_t Network::total_frames() const {
+  std::uint64_t n = 0;
+  for (const auto& k : kernels_) n += k->frames_emitted();
+  return n;
+}
+
+// ===================== Kernel plumbing =====================
+
+Kernel::Kernel(Network& network, net::NodeId node)
+    : network_(&network), node_(node) {
+  network_->bus().attach(node_, [this](const net::Frame& f) { on_frame(f); });
+}
+
+void Kernel::transmit(net::NodeId dst, WireFrame frame, std::size_t bytes) {
+  ++frames_out_;
+  network_->bus().send(net::Frame{node_, dst, bytes, std::move(frame)});
+}
+
+void Kernel::on_frame(const net::Frame& frame) {
+  const auto& wf = frame.as<WireFrame>();
+  sim::Duration cost = network_->costs().frame_processing;
+  if (const auto* rf = std::get_if<ReqFrag>(&wf)) {
+    cost += network_->costs().per_byte_copy *
+            static_cast<sim::Duration>(rf->data.size());
+  } else if (const auto* af = std::get_if<AcceptFrag>(&wf)) {
+    cost += network_->costs().per_byte_copy *
+            static_cast<sim::Duration>(af->data.size());
+  }
+  network_->engine().schedule(cost, [this, wf, src = frame.src] {
+    std::visit([this, src](const auto& m) { handle(m, src); }, wf);
+  });
+}
+
+void Kernel::register_process(Pid pid) {
+  processes_.insert(pid);
+  handler_open_[pid] = true;
+  interrupts_.emplace(
+      pid, std::make_unique<sim::Mailbox<Interrupt>>(network_->engine()));
+}
+
+void Kernel::terminate_process(Pid pid) {
+  if (!processes_.contains(pid)) return;
+  // Crash interrupts for everything parked here and unaccepted.
+  std::vector<ParkedRequest> doomed;
+  for (auto& [id, parked] : parked_) {
+    if (parked.target == pid) doomed.push_back(parked);
+  }
+  for (const ParkedRequest& parked : doomed) {
+    parked_.erase(parked.id);
+    transmit(parked.from_node, CrashNote{parked.id, pid}, 16);
+  }
+  // This process's own outstanding requests die quietly with it.
+  std::vector<ReqId> mine;
+  for (auto& [id, out] : outstanding_) {
+    if (out.from == pid) mine.push_back(id);
+  }
+  for (ReqId id : mine) {
+    per_pair_[pair_key(outstanding_[id].from, outstanding_[id].target)]--;
+    outstanding_.erase(id);
+  }
+  advertised_.erase(pid);
+  handler_open_.erase(pid);
+  interrupts_.erase(pid);
+  processes_.erase(pid);
+}
+
+void Kernel::raise(Pid pid, Interrupt intr) {
+  network_->engine().schedule(
+      network_->costs().interrupt_delivery,
+      [this, pid, intr = std::move(intr)] {
+        auto it = interrupts_.find(pid);
+        if (it == interrupts_.end()) return;  // died meanwhile
+        it->second->put(intr);
+      });
+}
+
+// ===================== names =====================
+
+sim::Task<Name> Kernel::generate_name(Pid caller) {
+  co_await network_->engine().sleep(network_->costs().call_overhead);
+  (void)caller;
+  co_return network_->new_name();
+}
+
+sim::Task<Status> Kernel::advertise(Pid caller, Name name) {
+  co_await network_->engine().sleep(network_->costs().call_overhead);
+  if (!processes_.contains(caller)) co_return Status::kProcessDead;
+  advertised_[caller].insert(name);
+  co_return Status::kOk;
+}
+
+sim::Task<Status> Kernel::unadvertise(Pid caller, Name name) {
+  co_await network_->engine().sleep(network_->costs().call_overhead);
+  auto it = advertised_.find(caller);
+  if (it == advertised_.end() || it->second.erase(name) == 0) {
+    co_return Status::kNotAdvertised;
+  }
+  co_return Status::kOk;
+}
+
+sim::Task<std::optional<Pid>> Kernel::discover(Pid caller, Name name) {
+  co_await network_->engine().sleep(network_->costs().call_overhead);
+  (void)caller;
+  const std::uint64_t qid = next_qid_++;
+  sim::OneShot<std::optional<Pid>> slot(network_->engine());
+  discovers_[qid] = DiscoverWait{&slot, false};
+
+  // Unreliable broadcast query; replies race the timeout.
+  ++frames_out_;
+  network_->bus().broadcast(
+      net::Frame{node_, net::NodeId::invalid(), 16,
+                 WireFrame(DiscoverQuery{qid, name, node_})});
+  network_->engine().schedule(network_->costs().discover_timeout,
+                              [this, qid] {
+                                auto it = discovers_.find(qid);
+                                if (it == discovers_.end()) return;
+                                if (!it->second.settled) {
+                                  it->second.settled = true;
+                                  it->second.slot->fulfill(std::nullopt);
+                                }
+                              });
+  std::optional<Pid> found = co_await slot.take();
+  discovers_.erase(qid);
+  co_return found;
+}
+
+// ===================== request =====================
+
+void Kernel::send_request_frags(const Outstanding& out) {
+  const std::size_t mtu = network_->costs().mtu_bytes;
+  const std::size_t len = out.data.size();
+  const auto frag_count = static_cast<std::uint32_t>(
+      len == 0 ? 1 : (len + mtu - 1) / mtu);
+  for (std::uint32_t i = 0; i < frag_count; ++i) {
+    const std::size_t lo = static_cast<std::size_t>(i) * mtu;
+    const std::size_t hi = std::min(len, lo + mtu);
+    ReqFrag frag{out.id,  out.from,       out.target,
+                 out.name, out.oob,       out.data.size(),
+                 out.recv_limit, i,       frag_count,
+                 Payload(out.data.begin() + static_cast<std::ptrdiff_t>(lo),
+                         out.data.begin() + static_cast<std::ptrdiff_t>(hi))};
+    transmit(out.target_node, std::move(frag), 24 + (hi - lo));
+  }
+}
+
+sim::Task<Result<ReqId>> Kernel::request(Pid caller, Pid target, Name name,
+                                         Oob oob, Payload send_data,
+                                         std::size_t recv_limit) {
+  const Costs& costs = network_->costs();
+  const std::size_t len = send_data.size();
+  const std::size_t mtu = costs.mtu_bytes;
+  const auto frags = static_cast<sim::Duration>(
+      len == 0 ? 1 : (len + mtu - 1) / mtu);
+  co_await network_->engine().sleep(
+      costs.call_overhead + costs.frame_processing * frags +
+      costs.per_byte_copy * static_cast<sim::Duration>(len));
+
+  if (!processes_.contains(caller)) co_return common::Err(Status::kProcessDead);
+  if (!network_->process_exists(target)) {
+    co_return common::Err(Status::kNoSuchProcess);
+  }
+  auto& pair_count = per_pair_[pair_key(caller, target)];
+  if (pair_count >= costs.max_outstanding_per_pair) {
+    co_return common::Err(Status::kTooManyRequests);
+  }
+  ++pair_count;
+
+  const ReqId id = network_->new_req();
+  Outstanding out{id,   caller, target, network_->node_of(target),
+                  name, oob,    std::move(send_data), recv_limit, 0};
+  send_request_frags(out);
+  outstanding_.emplace(id, std::move(out));
+  co_return id;
+}
+
+void Kernel::schedule_retry(ReqId req) {
+  ++retries_;
+  network_->engine().schedule(network_->costs().retry_interval,
+                              [this, req] {
+                                auto it = outstanding_.find(req);
+                                if (it == outstanding_.end()) return;
+                                send_request_frags(it->second);
+                              });
+}
+
+void Kernel::park_and_interrupt(ParkedRequest parked) {
+  RequestInterrupt intr{parked.id, parked.from, parked.name, parked.oob,
+                        parked.data.size(), parked.recv_limit};
+  const Pid target = parked.target;
+  parked_.emplace(parked.id, std::move(parked));
+  raise(target, intr);
+}
+
+// ===================== accept =====================
+
+sim::Task<Result<Payload>> Kernel::accept(Pid caller, ReqId request, Oob oob,
+                                          Payload reply_data,
+                                          std::size_t recv_limit) {
+  const Costs& costs = network_->costs();
+  auto it = parked_.find(request);
+  if (it == parked_.end() || it->second.target != caller) {
+    co_await network_->engine().sleep(costs.call_overhead);
+    co_return common::Err(Status::kNoSuchRequest);
+  }
+  ParkedRequest parked = std::move(it->second);
+  parked_.erase(it);
+
+  const std::size_t take = std::min(parked.data.size(), recv_limit);
+  Payload taken(parked.data.begin(),
+                parked.data.begin() + static_cast<std::ptrdiff_t>(take));
+  const std::size_t give = std::min(reply_data.size(), parked.recv_limit);
+  reply_data.resize(give);
+
+  const std::size_t mtu = costs.mtu_bytes;
+  const auto frag_count = static_cast<std::uint32_t>(
+      give == 0 ? 1 : (give + mtu - 1) / mtu);
+  co_await network_->engine().sleep(
+      costs.call_overhead +
+      costs.per_byte_copy * static_cast<sim::Duration>(take + give) +
+      costs.frame_processing * frag_count);
+
+  for (std::uint32_t i = 0; i < frag_count; ++i) {
+    const std::size_t lo = static_cast<std::size_t>(i) * mtu;
+    const std::size_t hi = std::min(give, lo + mtu);
+    AcceptFrag frag{request, oob,  take, give, i, frag_count,
+                    Payload(reply_data.begin() + static_cast<std::ptrdiff_t>(lo),
+                            reply_data.begin() + static_cast<std::ptrdiff_t>(hi))};
+    transmit(parked.from_node, std::move(frag), 24 + (hi - lo));
+  }
+  co_return taken;
+}
+
+// ===================== frame handlers =====================
+
+void Kernel::handle(const ReqFrag& f, net::NodeId from) {
+  // Reassemble (single-frag fast path skips the buffer).
+  Payload data;
+  if (f.frag_count > 1) {
+    Reassembly& r = req_reassembly_[f.req];
+    if (r.data.empty()) r.data.resize(f.send_total);
+    const std::size_t lo = static_cast<std::size_t>(f.frag_index) *
+                           network_->costs().mtu_bytes;
+    std::copy(f.data.begin(), f.data.end(),
+              r.data.begin() + static_cast<std::ptrdiff_t>(lo));
+    if (++r.seen < f.frag_count) return;
+    data = std::move(r.data);
+    req_reassembly_.erase(f.req);
+  } else {
+    data = f.data;
+  }
+
+  if (!processes_.contains(f.target)) {
+    transmit(from, ReqNack{f.req, NackReason::kDead}, 12);
+    return;
+  }
+  auto adv = advertised_.find(f.target);
+  if (adv == advertised_.end() || !adv->second.contains(f.name)) {
+    transmit(from, ReqNack{f.req, NackReason::kNoName}, 12);
+    return;
+  }
+  if (!handler_open_[f.target]) {
+    transmit(from, ReqNack{f.req, NackReason::kClosed}, 12);
+    return;
+  }
+  park_and_interrupt(ParkedRequest{f.req, f.from, from, f.target, f.name,
+                                   f.oob, std::move(data), f.send_total,
+                                   f.recv_limit});
+}
+
+void Kernel::handle(const ReqNack& f, net::NodeId /*from*/) {
+  auto it = outstanding_.find(f.req);
+  if (it == outstanding_.end()) return;
+  Outstanding& out = it->second;
+  switch (f.reason) {
+    case NackReason::kDead: {
+      CrashInterrupt intr{out.id, out.target};
+      const Pid from_pid = out.from;
+      per_pair_[pair_key(out.from, out.target)]--;
+      outstanding_.erase(it);
+      raise(from_pid, intr);
+      return;
+    }
+    case NackReason::kClosed:
+    case NackReason::kNoName: {
+      if (++out.attempts >= network_->costs().max_request_attempts) {
+        RejectInterrupt intr{out.id, out.target, out.name};
+        const Pid from_pid = out.from;
+        per_pair_[pair_key(out.from, out.target)]--;
+        outstanding_.erase(it);
+        raise(from_pid, intr);
+        return;
+      }
+      schedule_retry(f.req);
+      return;
+    }
+  }
+}
+
+void Kernel::handle(const AcceptFrag& f, net::NodeId /*from*/) {
+  auto it = outstanding_.find(f.req);
+  if (it == outstanding_.end()) return;
+
+  Payload data;
+  if (f.frag_count > 1) {
+    Reassembly& r = accept_reassembly_[f.req];
+    if (r.data.empty()) r.data.resize(f.reply_total);
+    const std::size_t lo = static_cast<std::size_t>(f.frag_index) *
+                           network_->costs().mtu_bytes;
+    std::copy(f.data.begin(), f.data.end(),
+              r.data.begin() + static_cast<std::ptrdiff_t>(lo));
+    if (++r.seen < f.frag_count) return;
+    data = std::move(r.data);
+    accept_reassembly_.erase(f.req);
+  } else {
+    data = f.data;
+  }
+
+  Outstanding& out = it->second;
+  if (data.size() > out.recv_limit) data.resize(out.recv_limit);
+  CompletionInterrupt intr{f.req, f.oob, std::move(data), f.delivered};
+  const Pid from_pid = out.from;
+  per_pair_[pair_key(out.from, out.target)]--;
+  outstanding_.erase(it);
+  raise(from_pid, intr);
+}
+
+void Kernel::handle(const CrashNote& f, net::NodeId /*from*/) {
+  auto it = outstanding_.find(f.req);
+  if (it == outstanding_.end()) return;
+  CrashInterrupt intr{f.req, f.target};
+  const Pid from_pid = it->second.from;
+  per_pair_[pair_key(it->second.from, it->second.target)]--;
+  outstanding_.erase(it);
+  raise(from_pid, intr);
+}
+
+void Kernel::handle(const DiscoverQuery& f, net::NodeId /*from*/) {
+  for (const auto& [pid, names] : advertised_) {
+    if (names.contains(f.name)) {
+      transmit(f.from_node, DiscoverReply{f.qid, f.name, pid}, 16);
+      return;
+    }
+  }
+}
+
+void Kernel::handle(const DiscoverReply& f, net::NodeId /*from*/) {
+  auto it = discovers_.find(f.qid);
+  if (it == discovers_.end() || it->second.settled) return;
+  it->second.settled = true;
+  it->second.slot->fulfill(f.pid);
+}
+
+// ===================== interrupts =====================
+
+sim::Task<Interrupt> Kernel::next_interrupt(Pid caller) {
+  auto it = interrupts_.find(caller);
+  RELYNX_ASSERT_MSG(it != interrupts_.end(),
+                    "next_interrupt by unknown process");
+  Interrupt intr = co_await it->second->get();
+  co_return intr;
+}
+
+bool Kernel::interrupt_pending(Pid caller) {
+  auto it = interrupts_.find(caller);
+  return it != interrupts_.end() && !it->second->empty();
+}
+
+void Kernel::close_handler(Pid caller) { handler_open_[caller] = false; }
+void Kernel::open_handler(Pid caller) { handler_open_[caller] = true; }
+
+bool Kernel::handler_open(Pid caller) const {
+  auto it = handler_open_.find(caller);
+  return it != handler_open_.end() && it->second;
+}
+
+}  // namespace soda

@@ -1,0 +1,248 @@
+// The simulated SODA kernel (paper §4.1).
+//
+// One Kernel per node (client processor + kernel processor pair), all on
+// a 1 Mbit/s CSMA bus.  Processes advertise names, make requests
+// against (pid, name) pairs, feel software interrupts, and accept past
+// requests; `discover` finds advertisers by unreliable broadcast.
+//
+// Two modelling choices, documented against the paper:
+//  * Request *data* ships with the request descriptor and parks at the
+//    target kernel, so "accepting a request does not even block the
+//    accepter" (§4.2) holds literally: accept hands back the parked
+//    bytes at local-memory speed and queues the reply leg.  Total wire
+//    cost per completed operation is identical to transfer-at-accept.
+//  * Requests that find the target's handler closed (or the name not
+//    yet advertised) are NACKed and retried by the requesting kernel —
+//    "Requests are delayed; the requesting kernel retries periodically
+//    in an attempt to get through (the requesting user can proceed)."
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <variant>
+#include <vector>
+
+#include "common/result.hpp"
+#include "net/csma_bus.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+#include "soda/types.hpp"
+
+namespace soda {
+
+class Network;
+
+using Interrupt = std::variant<RequestInterrupt, CompletionInterrupt,
+                               CrashInterrupt, RejectInterrupt>;
+
+template <typename T>
+using Result = common::Result<T, Status>;
+
+class Kernel {
+ public:
+  Kernel(Network& network, net::NodeId node);
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+
+  // ---- kernel calls -----------------------------------------------------
+  [[nodiscard]] sim::Task<Name> generate_name(Pid caller);
+  [[nodiscard]] sim::Task<Status> advertise(Pid caller, Name name);
+  [[nodiscard]] sim::Task<Status> unadvertise(Pid caller, Name name);
+  [[nodiscard]] sim::Task<std::optional<Pid>> discover(Pid caller, Name name);
+
+  // Non-blocking: returns the request id; outcome arrives as a
+  // CompletionInterrupt / CrashInterrupt / RejectInterrupt.
+  [[nodiscard]] sim::Task<Result<ReqId>> request(Pid caller, Pid target,
+                                                 Name name, Oob oob,
+                                                 Payload send_data,
+                                                 std::size_t recv_limit);
+
+  // Accept a previously-signalled request: returns the requester's
+  // parked data (truncated to recv_limit) and queues the reply leg.
+  [[nodiscard]] sim::Task<Result<Payload>> accept(Pid caller, ReqId request,
+                                                  Oob oob, Payload reply_data,
+                                                  std::size_t recv_limit);
+
+  // ---- software interrupts ------------------------------------------------
+  [[nodiscard]] sim::Task<Interrupt> next_interrupt(Pid caller);
+  [[nodiscard]] bool interrupt_pending(Pid caller);
+  void close_handler(Pid caller);  // mask: requests get NACK-deferred
+  void open_handler(Pid caller);
+  [[nodiscard]] bool handler_open(Pid caller) const;
+
+  // ---- lifecycle -----------------------------------------------------------
+  void register_process(Pid pid);
+  void terminate_process(Pid pid);
+
+  // ---- instrumentation -------------------------------------------------------
+  [[nodiscard]] std::uint64_t frames_emitted() const { return frames_out_; }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+
+ private:
+  friend class Network;
+
+  struct ParkedRequest {  // at the target kernel, awaiting accept
+    ReqId id;
+    Pid from;
+    net::NodeId from_node;
+    Pid target;
+    Name name;
+    Oob oob{};
+    Payload data;
+    std::size_t send_total = 0;
+    std::size_t recv_limit = 0;
+  };
+  struct Outstanding {  // at the requester kernel
+    ReqId id;
+    Pid from;
+    Pid target;
+    net::NodeId target_node;
+    Name name;
+    Oob oob{};
+    Payload data;
+    std::size_t recv_limit = 0;
+    int attempts = 0;
+  };
+  struct Reassembly {
+    std::uint32_t expected = 0;
+    std::uint32_t seen = 0;
+    Payload data;
+  };
+  struct DiscoverWait {
+    // Non-owning: the OneShot lives in the discover() coroutine frame,
+    // which strictly outlives the map entry (discover erases it after
+    // take() resumes).
+    sim::OneShot<std::optional<Pid>>* slot = nullptr;
+    bool settled = false;
+  };
+
+  // wire frames
+  struct ReqFrag {
+    ReqId req;
+    Pid from;
+    Pid target;
+    Name name;
+    Oob oob{};
+    std::size_t send_total = 0;
+    std::size_t recv_limit = 0;
+    std::uint32_t frag_index = 0;
+    std::uint32_t frag_count = 1;
+    Payload data;
+  };
+  enum class NackReason : std::uint8_t { kClosed, kNoName, kDead };
+  struct ReqNack {
+    ReqId req;
+    NackReason reason;
+  };
+  struct AcceptFrag {
+    ReqId req;
+    Oob oob{};
+    std::size_t delivered = 0;  // bytes of requester's data taken
+    std::size_t reply_total = 0;
+    std::uint32_t frag_index = 0;
+    std::uint32_t frag_count = 1;
+    Payload data;
+  };
+  struct CrashNote {
+    ReqId req;
+    Pid target;
+  };
+  struct DiscoverQuery {
+    std::uint64_t qid;
+    Name name;
+    net::NodeId from_node;
+  };
+  struct DiscoverReply {
+    std::uint64_t qid;
+    Name name;
+    Pid pid;
+  };
+  using WireFrame = std::variant<ReqFrag, ReqNack, AcceptFrag, CrashNote,
+                                 DiscoverQuery, DiscoverReply>;
+
+  void on_frame(const net::Frame& frame);
+  void handle(const ReqFrag& f, net::NodeId from);
+  void handle(const ReqNack& f, net::NodeId from);
+  void handle(const AcceptFrag& f, net::NodeId from);
+  void handle(const CrashNote& f, net::NodeId from);
+  void handle(const DiscoverQuery& f, net::NodeId from);
+  void handle(const DiscoverReply& f, net::NodeId from);
+
+  void transmit(net::NodeId dst, WireFrame frame, std::size_t bytes);
+  void send_request_frags(const Outstanding& out);
+  void schedule_retry(ReqId req);
+  void raise(Pid pid, Interrupt intr);
+  void park_and_interrupt(ParkedRequest parked);
+  [[nodiscard]] std::uint64_t pair_key(Pid a, Pid b) const {
+    return (a.value() < b.value())
+               ? (static_cast<std::uint64_t>(a.value()) << 32) | b.value()
+               : (static_cast<std::uint64_t>(b.value()) << 32) | a.value();
+  }
+
+  Network* network_;
+  net::NodeId node_;
+  std::unordered_set<Pid> processes_;
+  std::unordered_map<Pid, std::unordered_set<Name>> advertised_;
+  std::unordered_map<Pid, bool> handler_open_;
+  std::unordered_map<Pid, std::unique_ptr<sim::Mailbox<Interrupt>>>
+      interrupts_;
+  std::unordered_map<ReqId, ParkedRequest> parked_;
+  std::unordered_map<ReqId, Reassembly> req_reassembly_;
+  std::unordered_map<ReqId, Outstanding> outstanding_;
+  std::unordered_map<ReqId, Reassembly> accept_reassembly_;
+  std::unordered_map<ReqId, AcceptFrag> accept_header_;
+  std::unordered_map<std::uint64_t, int> per_pair_;
+  std::unordered_map<std::uint64_t, DiscoverWait> discovers_;
+  std::uint64_t next_qid_ = 1;
+  std::uint64_t frames_out_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+// A SODA network: N single-process nodes on a CSMA bus.
+class Network {
+ public:
+  Network(sim::Engine& engine, std::size_t nodes, sim::Rng rng,
+          net::CsmaBusParams bus_params = {}, Costs costs = {});
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  ~Network();
+
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] const Costs& costs() const { return costs_; }
+  [[nodiscard]] net::CsmaBus& bus() { return *bus_; }
+  [[nodiscard]] std::size_t node_count() const { return kernels_.size(); }
+
+  [[nodiscard]] Kernel& kernel(net::NodeId node);
+  [[nodiscard]] Pid create_process(net::NodeId node);
+  [[nodiscard]] Kernel& kernel_of(Pid pid);
+  [[nodiscard]] net::NodeId node_of(Pid pid) const;
+  [[nodiscard]] bool alive(Pid pid) const;
+  [[nodiscard]] bool process_exists(Pid pid) const {
+    return process_node_.contains(pid);
+  }
+  void terminate(Pid pid);
+
+  [[nodiscard]] std::uint64_t total_frames() const;
+
+ private:
+  friend class Kernel;
+  [[nodiscard]] Name new_name() { return names_.next(); }
+  [[nodiscard]] ReqId new_req() { return reqs_.next(); }
+
+  sim::Engine* engine_;
+  Costs costs_;
+  std::unique_ptr<net::CsmaBus> bus_;
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+  std::unordered_map<Pid, net::NodeId> process_node_;
+  std::unordered_set<Pid> dead_;
+  common::IdAllocator<Pid> pids_;
+  common::IdAllocator<Name> names_;
+  common::IdAllocator<ReqId> reqs_;
+};
+
+}  // namespace soda

@@ -1,0 +1,39 @@
+// Parallel parameter sweeps for the benchmark harness.
+//
+// Each sweep point runs a fresh deterministic simulation; points are
+// independent, so they fan out across a thread pool and come back in
+// input order.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sweep/thread_pool.hpp"
+
+namespace sweep {
+
+// Runs fn(point) for every point, in parallel, preserving input order.
+template <typename P, typename R>
+[[nodiscard]] std::vector<R> map(const std::vector<P>& points,
+                                 std::function<R(const P&)> fn,
+                                 ThreadPool& pool) {
+  std::vector<std::future<R>> futures;
+  futures.reserve(points.size());
+  for (const P& p : points) {
+    futures.push_back(pool.enqueue([&fn, p] { return fn(p); }));
+  }
+  std::vector<R> out;
+  out.reserve(points.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
+}
+
+// Convenience: sweep with a one-off pool.
+template <typename P, typename R>
+[[nodiscard]] std::vector<R> map(const std::vector<P>& points,
+                                 std::function<R(const P&)> fn) {
+  ThreadPool pool;
+  return map<P, R>(points, std::move(fn), pool);
+}
+
+}  // namespace sweep

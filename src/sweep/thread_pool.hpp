@@ -1,0 +1,84 @@
+// A work-queue thread pool (the CppCoreGuidelines CP.61 shape: callers
+// enqueue callables and get futures; no raw threads in user code).
+//
+// The simulation engine itself is single-threaded and deterministic;
+// host parallelism lives HERE, in the benchmark harness, which runs many
+// independent Engines (seeds, sweep points) concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sweep {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(
+      unsigned threads = std::max(1u, std::thread::hardware_concurrency())) {
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::scoped_lock lock(mutex_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  [[nodiscard]] unsigned size() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  // Enqueue a callable; returns a future for its result.  Tasks must not
+  // enqueue-and-wait on the same pool (classic deadlock) — sweeps are
+  // flat fan-outs, so this never arises here.
+  template <typename F>
+  [[nodiscard]] auto enqueue(F fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock lock(mutex_);
+        cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (stopping_ && queue_.empty()) return;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sweep

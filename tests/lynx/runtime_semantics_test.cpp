@@ -1,0 +1,319 @@
+// Runtime-semantics tests (backend-independent rules from paper §2.1),
+// run over the Chrysalis backend for speed.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../support/co_check.hpp"
+#include "lynx/chrysalis_backend.hpp"
+#include "lynx/runtime.hpp"
+#include "sim/engine.hpp"
+
+namespace lynx {
+namespace {
+
+using net::NodeId;
+
+struct World {
+  sim::Engine engine;
+  chrysalis::Kernel kernel{engine};
+  Process server{engine, "server", make_chrysalis_backend(kernel, NodeId(0))};
+  Process client{engine, "client", make_chrysalis_backend(kernel, NodeId(1))};
+  LinkHandle server_end;
+  LinkHandle client_end;
+
+  void boot() {
+    server.start();
+    client.start();
+    engine.spawn("connect", wire(this));
+    engine.run();
+  }
+  static sim::Task<> wire(World* w) {
+    auto [se, ce] = co_await ChrysalisBackend::connect(w->server, w->client);
+    w->server_end = se;
+    w->client_end = ce;
+  }
+};
+
+// ---- typed operations -------------------------------------------------------
+
+sim::Task<> bad_replier(ThreadCtx& ctx, LinkHandle link) {
+  ctx.enable_requests(link);
+  Incoming in = co_await ctx.receive();
+  // Reply op is forced to match the request: the runtime rewrites it.
+  Message rep;
+  rep.op = "totally-wrong";
+  co_await ctx.reply(in, std::move(rep));
+}
+
+TEST(LynxSemantics, ReplyOpAlwaysAnswersTheRequest) {
+  World w;
+  w.boot();
+  std::vector<std::string> log;
+  w.server.spawn_thread("bad", [&](ThreadCtx& ctx) {
+    return bad_replier(ctx, w.server_end);
+  });
+  w.client.spawn_thread("cli", [&](ThreadCtx& ctx) {
+    return [](ThreadCtx& c, LinkHandle l,
+              std::vector<std::string>* lg) -> sim::Task<> {
+      Message req = make_message("compute", {});
+      Message rep = co_await c.call(l, std::move(req));
+      lg->push_back("op:" + rep.op);
+    }(ctx, w.client_end, &log);
+  });
+  w.engine.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], "op:compute");
+}
+
+TEST(LynxSemantics, UndeclaredOperationIsRejected) {
+  World w;
+  w.boot();
+  w.server.declare_operation("read");
+  w.server.declare_operation("write");
+  std::vector<std::string> log;
+  w.server.spawn_thread("srv", [&](ThreadCtx& ctx) {
+    return [](ThreadCtx& c, LinkHandle l) -> sim::Task<> {
+      c.enable_requests(l);
+      Incoming in = co_await c.receive();  // only 'read' gets through
+      CO_CHECK_EQ(in.msg.op, "read");
+      Message rep;
+      co_await c.reply(in, std::move(rep));
+    }(ctx, w.server_end);
+  });
+  w.client.spawn_thread("cli", [&](ThreadCtx& ctx) {
+    return [](ThreadCtx& c, LinkHandle l,
+              std::vector<std::string>* lg) -> sim::Task<> {
+      try {
+        Message bad = make_message("format-disk", {});
+        (void)co_await c.call(l, std::move(bad));
+        lg->push_back("unexpected-success");
+      } catch (const LynxError& e) {
+        lg->push_back(std::string("rejected:") + to_string(e.kind()));
+      }
+      Message good = make_message("read", {});
+      (void)co_await c.call(l, std::move(good));
+      lg->push_back("read-ok");
+    }(ctx, w.client_end, &log);
+  });
+  w.engine.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "rejected:operation-rejected");
+  EXPECT_EQ(log[1], "read-ok");
+}
+
+// ---- enclosure restrictions (§2.1) ------------------------------------------
+
+TEST(LynxSemantics, CannotEncloseCarrierEnd) {
+  World w;
+  w.boot();
+  std::vector<std::string> log;
+  w.client.spawn_thread("cli", [&](ThreadCtx& ctx) {
+    return [](ThreadCtx& c, LinkHandle l,
+              std::vector<std::string>* lg) -> sim::Task<> {
+      try {
+        Message req = make_message("take", {l});  // enclose the carrier!
+        (void)co_await c.call(l, std::move(req));
+        lg->push_back("unexpected-success");
+      } catch (const LynxError& e) {
+        lg->push_back(std::string("caught:") + to_string(e.kind()));
+      }
+    }(ctx, w.client_end, &log);
+  });
+  w.engine.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], "caught:link-busy");
+}
+
+// "a process is not permitted to move a link ... on which it owes a
+// reply for an already-received request"
+sim::Task<> owing_server(ThreadCtx& ctx, LinkHandle front, LinkHandle other,
+                         std::vector<std::string>* log) {
+  ctx.enable_requests(front);
+  Incoming in = co_await ctx.receive();  // we now owe a reply on `front`
+  try {
+    Message req = make_message("move-it", {front});
+    (void)co_await ctx.call(other, std::move(req));
+    log->push_back("unexpected-success");
+  } catch (const LynxError& e) {
+    log->push_back(std::string("caught:") + to_string(e.kind()));
+  }
+  Message rep;
+  co_await ctx.reply(in, std::move(rep));
+  log->push_back("replied");
+}
+
+TEST(LynxSemantics, CannotMoveEndWithOwedReply) {
+  sim::Engine engine;
+  chrysalis::Kernel kernel(engine);
+  Process a(engine, "a", make_chrysalis_backend(kernel, NodeId(0)));
+  Process b(engine, "b", make_chrysalis_backend(kernel, NodeId(1)));
+  Process c(engine, "c", make_chrysalis_backend(kernel, NodeId(2)));
+  a.start();
+  b.start();
+  c.start();
+  LinkHandle ab_a, ab_b, ac_a, ac_c;
+  engine.spawn("wire", [](Process* pa, Process* pb, Process* pc,
+                          LinkHandle* o1, LinkHandle* o2, LinkHandle* o3,
+                          LinkHandle* o4) -> sim::Task<> {
+    auto [x1, y1] = co_await ChrysalisBackend::connect(*pa, *pb);
+    *o1 = x1;
+    *o2 = y1;
+    auto [x2, y2] = co_await ChrysalisBackend::connect(*pa, *pc);
+    *o3 = x2;
+    *o4 = y2;
+  }(&a, &b, &c, &ab_a, &ab_b, &ac_a, &ac_c));
+  engine.run();
+
+  std::vector<std::string> log;
+  a.spawn_thread("owing", [&](ThreadCtx& ctx) {
+    return owing_server(ctx, ab_a, ac_a, &log);
+  });
+  b.spawn_thread("caller", [&](ThreadCtx& ctx) {
+    return [](ThreadCtx& cx, LinkHandle l,
+              std::vector<std::string>* lg) -> sim::Task<> {
+      Message req = make_message("op", {});
+      (void)co_await cx.call(l, std::move(req));
+      lg->push_back("caller-done");
+    }(ctx, ab_b, &log);
+  });
+  c.spawn_thread("sink", [&](ThreadCtx& ctx) {
+    return [](ThreadCtx& cx, LinkHandle l) -> sim::Task<> {
+      cx.enable_requests(l);
+      co_await cx.delay(sim::sec(1));
+    }(ctx, ac_c);
+  });
+  engine.run();
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_EQ(log[0], "caught:link-busy");
+  EXPECT_EQ(log[1], "replied");
+  EXPECT_EQ(log[2], "caller-done");
+}
+
+// ---- per-link call serialization ---------------------------------------------
+
+// Two client threads call on the SAME link; stop-and-wait means the
+// second call must queue behind the first — both complete, in order.
+sim::Task<> numbered_caller(ThreadCtx& ctx, LinkHandle link, int id,
+                            std::vector<int>* order) {
+  Message req = make_message("op", {std::int64_t(id)});
+  Message rep = co_await ctx.call(link, std::move(req));
+  order->push_back(static_cast<int>(std::get<std::int64_t>(rep.args.at(0))));
+}
+
+TEST(LynxSemantics, CallsOnOneLinkSerialize) {
+  World w;
+  w.boot();
+  std::vector<int> order;
+  w.server.spawn_thread("srv", [&](ThreadCtx& ctx) {
+    return [](ThreadCtx& c, LinkHandle l) -> sim::Task<> {
+      c.enable_requests(l);
+      for (int i = 0; i < 3; ++i) {
+        Incoming in = co_await c.receive();
+        Message rep;
+        rep.args = in.msg.args;
+        co_await c.reply(in, std::move(rep));
+      }
+    }(ctx, w.server_end);
+  });
+  for (int i = 0; i < 3; ++i) {
+    w.client.spawn_thread("cli" + std::to_string(i), [&, i](ThreadCtx& ctx) {
+      return numbered_caller(ctx, w.client_end, i, &order);
+    });
+  }
+  w.engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(w.client.thread_failures().empty());
+}
+
+// ---- message ordering within a queue (§2.1) -----------------------------------
+
+TEST(LynxSemantics, MessagesInOneQueueArriveInOrder) {
+  World w;
+  w.boot();
+  std::vector<int> seen;
+  w.server.spawn_thread("srv", [&](ThreadCtx& ctx) {
+    return [](ThreadCtx& c, LinkHandle l, std::vector<int>* out) -> sim::Task<> {
+      c.enable_requests(l);
+      for (int i = 0; i < 10; ++i) {
+        Incoming in = co_await c.receive();
+        out->push_back(
+            static_cast<int>(std::get<std::int64_t>(in.msg.args.at(0))));
+        Message rep;
+        co_await c.reply(in, std::move(rep));
+      }
+    }(ctx, w.server_end, &seen);
+  });
+  w.client.spawn_thread("cli", [&](ThreadCtx& ctx) {
+    return [](ThreadCtx& c, LinkHandle l) -> sim::Task<> {
+      for (int i = 0; i < 10; ++i) {
+        Message req = make_message("op", {std::int64_t(i)});
+        (void)co_await c.call(l, std::move(req));
+      }
+    }(ctx, w.client_end);
+  });
+  w.engine.run();
+  std::vector<int> expect;
+  for (int i = 0; i < 10; ++i) expect.push_back(i);
+  EXPECT_EQ(seen, expect);
+}
+
+// ---- invalid handles ------------------------------------------------------------
+
+TEST(LynxSemantics, InvalidHandleThrows) {
+  World w;
+  w.boot();
+  std::vector<std::string> log;
+  w.client.spawn_thread("cli", [&](ThreadCtx& ctx) {
+    return [](ThreadCtx& c, std::vector<std::string>* lg) -> sim::Task<> {
+      try {
+        Message req = make_message("x", {});
+        (void)co_await c.call(LinkHandle(424242), std::move(req));
+      } catch (const LynxError& e) {
+        lg->push_back(std::string("call:") + to_string(e.kind()));
+      }
+      try {
+        c.enable_requests(LinkHandle(424242));
+      } catch (const LynxError& e) {
+        lg->push_back(std::string("enable:") + to_string(e.kind()));
+      }
+    }(ctx, &log);
+  });
+  w.engine.run();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "call:invalid-link");
+  EXPECT_EQ(log[1], "enable:invalid-link");
+}
+
+// ---- abort while blocked in receive ---------------------------------------------
+
+TEST(LynxSemantics, AbortWakesBlockedReceiver) {
+  World w;
+  w.boot();
+  std::vector<std::string> log;
+  ThreadId tid = w.server.spawn_thread("blocked", [&](ThreadCtx& ctx) {
+    return [](ThreadCtx& c, LinkHandle l,
+              std::vector<std::string>* lg) -> sim::Task<> {
+      c.enable_requests(l);
+      try {
+        (void)co_await c.receive();
+        lg->push_back("unexpected-message");
+      } catch (const LynxError& e) {
+        lg->push_back(std::string("caught:") + to_string(e.kind()));
+      }
+    }(ctx, w.server_end, &log);
+  });
+  w.client.spawn_thread("idle", [&](ThreadCtx& ctx) {
+    return [](ThreadCtx& c) -> sim::Task<> {
+      co_await c.delay(sim::msec(100));
+    }(ctx);
+  });
+  w.engine.schedule(sim::msec(20), [&, tid] { w.server.abort_thread(tid); });
+  w.engine.run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], "caught:aborted");
+}
+
+}  // namespace
+}  // namespace lynx

@@ -1,0 +1,46 @@
+// Unit tests for the protocol-complexity metrics.
+#include "metrics/complexity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace metrics {
+namespace {
+
+TEST(ComplexityTest, ProfilesMatchThePaperStructure) {
+  const BackendProfile ch = profile_charlotte();
+  const BackendProfile so = profile_soda();
+  const BackendProfile cy = profile_chrysalis();
+
+  // Charlotte needs a whole protocol; the others do not.
+  EXPECT_EQ(ch.protocol_message_types, 7);
+  EXPECT_TRUE(ch.needs_retry_forbid);
+  EXPECT_TRUE(ch.needs_goahead_enc);
+  EXPECT_FALSE(so.needs_retry_forbid);
+  EXPECT_FALSE(cy.needs_retry_forbid);
+
+  // Moves: three-party agreement vs hints.
+  EXPECT_EQ(ch.move_agreement_parties, 3);
+  EXPECT_EQ(so.move_agreement_parties, 1);
+  EXPECT_EQ(cy.move_agreement_parties, 1);
+
+  // Multi-enclosure packetization only on Charlotte (figure 2):
+  EXPECT_EQ(ch.extra_packets_multi_move(4), 1 + 3);
+  EXPECT_EQ(so.extra_packets_multi_move(4), 0);
+  EXPECT_EQ(cy.extra_packets_multi_move(4), 0);
+}
+
+TEST(ComplexityTest, SourceIsMeasured) {
+  const BackendProfile ch = profile_charlotte();
+  EXPECT_GT(ch.source_lines, 100u);
+  EXPECT_GT(ch.special_case_lines, 20u);
+  // The paper: ~5K of 21K for unwanted messages and multiple enclosures;
+  // proportionally, the special-case code is a real chunk of the file.
+  EXPECT_GT(ch.special_case_lines * 10, ch.source_lines);
+}
+
+TEST(ComplexityTest, UnreadableFileCountsZero) {
+  EXPECT_EQ(count_source_lines("/nonexistent/file.cpp"), 0u);
+}
+
+}  // namespace
+}  // namespace metrics

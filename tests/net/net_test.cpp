@@ -1,0 +1,175 @@
+// Unit tests for the three medium models.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/butterfly_switch.hpp"
+#include "net/csma_bus.hpp"
+#include "net/loopback.hpp"
+#include "net/token_ring.hpp"
+#include "sim/engine.hpp"
+
+namespace net {
+namespace {
+
+struct Delivery {
+  NodeId at;
+  sim::Time when;
+  std::string tag;
+};
+
+Frame make_frame(NodeId src, NodeId dst, std::size_t bytes, std::string tag) {
+  return Frame{src, dst, bytes, std::any(std::move(tag))};
+}
+
+class Collector {
+ public:
+  Collector(sim::Engine& e, Medium& m, std::vector<NodeId> nodes)
+      : engine_(&e) {
+    for (NodeId n : nodes) {
+      m.attach(n, [this, n](const Frame& f) {
+        deliveries.push_back({n, engine_->now(), f.as<std::string>()});
+      });
+    }
+  }
+  std::vector<Delivery> deliveries;
+
+ private:
+  sim::Engine* engine_;
+};
+
+TEST(LoopbackTest, DeliversWithFixedLatency) {
+  sim::Engine e;
+  Loopback lo(e, sim::usec(25));
+  Collector c(e, lo, {NodeId(0), NodeId(1)});
+  lo.send(make_frame(NodeId(0), NodeId(1), 100, "hello"));
+  e.run();
+  ASSERT_EQ(c.deliveries.size(), 1u);
+  EXPECT_EQ(c.deliveries[0].at, NodeId(1));
+  EXPECT_EQ(c.deliveries[0].when, sim::usec(25));
+  EXPECT_EQ(c.deliveries[0].tag, "hello");
+  EXPECT_EQ(lo.frames_sent(), 1u);
+  EXPECT_EQ(lo.bytes_sent(), 100u);
+}
+
+TEST(LoopbackTest, BroadcastSkipsSender) {
+  sim::Engine e;
+  Loopback lo(e, sim::usec(1));
+  Collector c(e, lo, {NodeId(0), NodeId(1), NodeId(2)});
+  lo.broadcast(make_frame(NodeId(0), NodeId::invalid(), 10, "b"));
+  e.run();
+  EXPECT_EQ(c.deliveries.size(), 2u);
+  for (const auto& d : c.deliveries) EXPECT_NE(d.at, NodeId(0));
+}
+
+TEST(TokenRingTest, ServiceTimeScalesWithPayload) {
+  sim::Engine e;
+  TokenRing ring(e);
+  // 1000 B + 32 B header at 10 Mb/s = 825.6 us of clocking,
+  // + 150 us token + 50 us overhead.
+  const auto t0 = ring.service_time(0);
+  const auto t1000 = ring.service_time(1000);
+  EXPECT_EQ(t1000 - t0, sim::transmission_time(8000, 10'000'000));
+  EXPECT_GT(t0, sim::usec(150));
+}
+
+TEST(TokenRingTest, UnicastArrivesAfterServicePlusPropagation) {
+  sim::Engine e;
+  TokenRingParams p;
+  TokenRing ring(e, p);
+  Collector c(e, ring, {NodeId(0), NodeId(1)});
+  ring.send(make_frame(NodeId(0), NodeId(1), 200, "x"));
+  e.run();
+  ASSERT_EQ(c.deliveries.size(), 1u);
+  EXPECT_EQ(c.deliveries[0].when, ring.service_time(200) + p.propagation);
+}
+
+TEST(TokenRingTest, TransmissionsAreSerialized) {
+  sim::Engine e;
+  TokenRingParams p;
+  TokenRing ring(e, p);
+  Collector c(e, ring, {NodeId(0), NodeId(1), NodeId(2)});
+  ring.send(make_frame(NodeId(0), NodeId(1), 0, "first"));
+  ring.send(make_frame(NodeId(2), NodeId(1), 0, "second"));
+  e.run();
+  ASSERT_EQ(c.deliveries.size(), 2u);
+  EXPECT_EQ(c.deliveries[0].tag, "first");
+  EXPECT_EQ(c.deliveries[1].tag, "second");
+  // Second frame waits for the first to finish service.
+  EXPECT_EQ(c.deliveries[1].when, 2 * ring.service_time(0) + p.propagation);
+}
+
+TEST(CsmaBusTest, KilobyteCostsRoughlyEightMs) {
+  sim::Engine e;
+  CsmaBus bus(e, sim::Rng(1));
+  const double ms = sim::to_msec(bus.clock_out_time(1000));
+  EXPECT_GT(ms, 7.9);
+  EXPECT_LT(ms, 8.5);
+}
+
+TEST(CsmaBusTest, BusyBusForcesBackoff) {
+  sim::Engine e;
+  CsmaBusParams p;
+  p.broadcast_drop_prob = 0.0;
+  CsmaBus bus(e, sim::Rng(7), p);
+  Collector c(e, bus, {NodeId(0), NodeId(1), NodeId(2)});
+  bus.send(make_frame(NodeId(0), NodeId(1), 1000, "a"));
+  bus.send(make_frame(NodeId(2), NodeId(1), 0, "b"));
+  e.run();
+  ASSERT_EQ(c.deliveries.size(), 2u);
+  EXPECT_GE(bus.backoffs(), 1u);
+  EXPECT_EQ(c.deliveries[0].tag, "a");
+}
+
+TEST(CsmaBusTest, BroadcastDropsAreApplied) {
+  sim::Engine e;
+  CsmaBusParams p;
+  p.broadcast_drop_prob = 0.5;
+  CsmaBus bus(e, sim::Rng(3), p);
+  std::vector<NodeId> nodes;
+  for (std::uint32_t i = 0; i < 41; ++i) nodes.push_back(NodeId(i));
+  Collector c(e, bus, nodes);
+  bus.broadcast(make_frame(NodeId(0), NodeId::invalid(), 10, "b"));
+  e.run();
+  // 40 potential receivers at 50% drop: expect far from both extremes.
+  EXPECT_GT(c.deliveries.size(), 5u);
+  EXPECT_LT(c.deliveries.size(), 35u);
+  EXPECT_GT(bus.drops(), 0u);
+}
+
+TEST(CsmaBusTest, UnicastIsReliableByDefault) {
+  sim::Engine e;
+  CsmaBus bus(e, sim::Rng(5));
+  Collector c(e, bus, {NodeId(0), NodeId(1)});
+  for (int i = 0; i < 50; ++i) {
+    bus.send(make_frame(NodeId(0), NodeId(1), 10, std::to_string(i)));
+  }
+  e.run();
+  EXPECT_EQ(c.deliveries.size(), 50u);
+  EXPECT_EQ(bus.drops(), 0u);
+}
+
+TEST(ButterflyTest, StagesGrowWithNodes) {
+  EXPECT_EQ(ButterflyFabric({.nodes = 1}).stages(), 0u);
+  EXPECT_EQ(ButterflyFabric({.nodes = 4}).stages(), 1u);
+  EXPECT_EQ(ButterflyFabric({.nodes = 16}).stages(), 2u);
+  EXPECT_EQ(ButterflyFabric({.nodes = 64}).stages(), 3u);
+  EXPECT_EQ(ButterflyFabric({.nodes = 128}).stages(), 4u);
+}
+
+TEST(ButterflyTest, RemoteCostsMoreThanLocal) {
+  ButterflyFabric fab;
+  EXPECT_GT(fab.word_reference(true), fab.word_reference(false));
+  EXPECT_GT(fab.block_transfer(100, true), fab.block_transfer(100, false));
+}
+
+TEST(ButterflyTest, BlockTransferScalesPerByte) {
+  ButterflyFabric fab;
+  const auto d100 = fab.block_transfer(100, true);
+  const auto d200 = fab.block_transfer(200, true);
+  EXPECT_EQ(d200 - d100, 100 * ButterflyParams{}.per_byte_block);
+}
+
+}  // namespace
+}  // namespace net

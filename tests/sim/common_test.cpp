@@ -1,0 +1,103 @@
+// Unit tests for common utilities (ids, results, ring buffer).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/result.hpp"
+#include "common/ring_buffer.hpp"
+#include "common/strong_id.hpp"
+
+namespace {
+
+struct WidgetTag {
+  static const char* prefix() { return "widget"; }
+};
+struct GadgetTag {
+  static const char* prefix() { return "gadget"; }
+};
+using WidgetId = common::StrongId<WidgetTag>;
+using GadgetId = common::StrongId<GadgetTag>;
+
+TEST(StrongIdTest, DefaultIsInvalid) {
+  WidgetId id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, WidgetId::invalid());
+}
+
+TEST(StrongIdTest, DistinctTypesDoNotMix) {
+  static_assert(!std::is_convertible_v<WidgetId, GadgetId>);
+  static_assert(!std::is_convertible_v<std::uint64_t, WidgetId>);
+}
+
+TEST(StrongIdTest, AllocatorIsMonotonic) {
+  common::IdAllocator<WidgetId> alloc;
+  EXPECT_EQ(alloc.next().value(), 0u);
+  EXPECT_EQ(alloc.next().value(), 1u);
+  EXPECT_EQ(alloc.issued(), 2u);
+}
+
+TEST(StrongIdTest, StreamsWithPrefix) {
+  std::ostringstream os;
+  os << WidgetId(4);
+  EXPECT_EQ(os.str(), "widget4");
+}
+
+enum class Errc { kBad, kWorse };
+
+common::Result<int, Errc> half(int x) {
+  if (x % 2 != 0) return common::Err(Errc::kBad);
+  return x / 2;
+}
+
+TEST(ResultTest, SuccessAndError) {
+  auto ok = half(10);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 5);
+
+  auto bad = half(3);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Errc::kBad);
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(StatusTest, DefaultIsOk) {
+  common::Status<Errc> st;
+  EXPECT_TRUE(st.ok());
+  common::Status<Errc> bad = common::Err(Errc::kWorse);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Errc::kWorse);
+}
+
+TEST(RingBufferTest, PushPopWraps) {
+  common::RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_TRUE(rb.push(3));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(4));
+  EXPECT_EQ(rb.pop(), 1);
+  EXPECT_TRUE(rb.push(4));
+  EXPECT_EQ(rb.pop(), 2);
+  EXPECT_EQ(rb.pop(), 3);
+  EXPECT_EQ(rb.pop(), 4);
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBufferTest, FrontPeeks) {
+  common::RingBuffer<int> rb(2);
+  ASSERT_TRUE(rb.push(42));
+  EXPECT_EQ(rb.front(), 42);
+  EXPECT_EQ(rb.size(), 1u);
+}
+
+TEST(RingBufferTest, ClearResets) {
+  common::RingBuffer<int> rb(2);
+  ASSERT_TRUE(rb.push(1));
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_EQ(rb.front(), 2);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Unit tests for the deterministic RNG.
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sim {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(RngTest, NextRangeInclusiveBounds) {
+  Rng r(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    auto v = r.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, DoublesInUnitInterval) {
+  Rng r(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BoolProbability) {
+  Rng r(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += r.next_bool(0.25) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng r(17);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += r.next_exponential(40.0);
+  EXPECT_NEAR(sum / 20000.0, 40.0, 1.5);
+}
+
+TEST(RngTest, ForkIsIndependentButDeterministic) {
+  Rng a1(5), a2(5);
+  Rng f1 = a1.fork();
+  Rng f2 = a2.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(f1.next_u64(), f2.next_u64());
+  // fork consumed one draw; parents stay in sync with each other
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a1.next_u64(), a2.next_u64());
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,87 @@
+// Unit tests for accumulators, histograms and series.
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sim {
+namespace {
+
+TEST(AccumulatorTest, EmptyIsZero) {
+  Accumulator a;
+  EXPECT_EQ(a.count(), 0);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.stddev(), 0.0);
+}
+
+TEST(AccumulatorTest, BasicMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_NEAR(a.stddev(), 2.13809, 1e-4);  // sample stddev
+  EXPECT_EQ(a.min(), 2.0);
+  EXPECT_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.total(), 40.0);
+}
+
+TEST(AccumulatorTest, MergeMatchesSinglePass) {
+  Accumulator whole, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    whole.add(x);
+    (i < 37 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(AccumulatorTest, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1);
+  EXPECT_EQ(empty.mean(), 3.0);
+}
+
+TEST(HistogramTest, QuantilesAreMonotone) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  const double q50 = h.quantile(0.5);
+  const double q90 = h.quantile(0.9);
+  const double q99 = h.quantile(0.99);
+  EXPECT_LE(q50, q90);
+  EXPECT_LE(q90, q99);
+  EXPECT_GT(q50, 100.0);  // true median is 500; buckets are coarse
+  EXPECT_EQ(h.summary().count(), 1000);
+}
+
+TEST(SeriesTest, CrossoverInterpolates) {
+  // a starts above b, they cross at x = 15.
+  Series a("a"), b("b");
+  for (double x : {0.0, 10.0, 20.0, 30.0}) {
+    a.add(x, 20.0 - x);     // 20, 10, 0, -10
+    b.add(x, x / 2.0);      //  0,  5, 10,  15
+  }
+  const double cx = a.crossover_x(b);
+  EXPECT_NEAR(cx, 40.0 / 3.0, 1e-9);  // 20 - x = x/2  =>  x = 13.33
+}
+
+TEST(SeriesTest, NoCrossoverIsNan) {
+  Series a("a"), b("b");
+  for (double x : {0.0, 1.0, 2.0}) {
+    a.add(x, 10.0);
+    b.add(x, 1.0);
+  }
+  EXPECT_TRUE(std::isnan(a.crossover_x(b)));
+}
+
+}  // namespace
+}  // namespace sim

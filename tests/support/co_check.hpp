@@ -1,0 +1,31 @@
+// Assertion macros usable inside sim::Task coroutines.
+//
+// gtest's ASSERT_* macros issue a plain `return`, which is ill-formed in
+// a coroutine.  CO_CHECK* records a gtest failure *and* throws, so the
+// simulated process aborts; the engine records it in process_failures()
+// and the test's final EXPECT_TRUE(engine.process_failures().empty())
+// (or the gtest failure itself) makes the breakage visible.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#define CO_CHECK(cond)                                             \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ADD_FAILURE() << "CO_CHECK failed: " #cond;                  \
+      throw std::runtime_error("CO_CHECK failed: " #cond);         \
+    }                                                              \
+  } while (0)
+
+#define CO_CHECK_EQ(a, b)                                          \
+  do {                                                             \
+    if (!((a) == (b))) {                                           \
+      std::ostringstream os_;                                      \
+      os_ << "CO_CHECK_EQ failed: " #a " == " #b;                  \
+      ADD_FAILURE() << os_.str();                                  \
+      throw std::runtime_error(os_.str());                         \
+    }                                                              \
+  } while (0)
