@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capability_matrix.dir/bench_capability_matrix.cpp.o"
+  "CMakeFiles/bench_capability_matrix.dir/bench_capability_matrix.cpp.o.d"
+  "bench_capability_matrix"
+  "bench_capability_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capability_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

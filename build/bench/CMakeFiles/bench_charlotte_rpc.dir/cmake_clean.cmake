@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_charlotte_rpc.dir/bench_charlotte_rpc.cpp.o"
+  "CMakeFiles/bench_charlotte_rpc.dir/bench_charlotte_rpc.cpp.o.d"
+  "bench_charlotte_rpc"
+  "bench_charlotte_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_charlotte_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chrysalis_rpc.dir/bench_chrysalis_rpc.cpp.o"
+  "CMakeFiles/bench_chrysalis_rpc.dir/bench_chrysalis_rpc.cpp.o.d"
+  "bench_chrysalis_rpc"
+  "bench_chrysalis_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chrysalis_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

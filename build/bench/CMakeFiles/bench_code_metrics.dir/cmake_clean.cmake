@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_code_metrics.dir/bench_code_metrics.cpp.o"
+  "CMakeFiles/bench_code_metrics.dir/bench_code_metrics.cpp.o.d"
+  "bench_code_metrics"
+  "bench_code_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_code_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

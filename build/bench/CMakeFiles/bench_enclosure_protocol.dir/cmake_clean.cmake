@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_enclosure_protocol.dir/bench_enclosure_protocol.cpp.o"
+  "CMakeFiles/bench_enclosure_protocol.dir/bench_enclosure_protocol.cpp.o.d"
+  "bench_enclosure_protocol"
+  "bench_enclosure_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_enclosure_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

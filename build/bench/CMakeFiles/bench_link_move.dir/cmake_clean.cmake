@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_link_move.dir/bench_link_move.cpp.o"
+  "CMakeFiles/bench_link_move.dir/bench_link_move.cpp.o.d"
+  "bench_link_move"
+  "bench_link_move.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_link_move.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soda_hints.dir/bench_soda_hints.cpp.o"
+  "CMakeFiles/bench_soda_hints.dir/bench_soda_hints.cpp.o.d"
+  "bench_soda_hints"
+  "bench_soda_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soda_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_soda_vs_charlotte.dir/bench_soda_vs_charlotte.cpp.o"
+  "CMakeFiles/bench_soda_vs_charlotte.dir/bench_soda_vs_charlotte.cpp.o.d"
+  "bench_soda_vs_charlotte"
+  "bench_soda_vs_charlotte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_soda_vs_charlotte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

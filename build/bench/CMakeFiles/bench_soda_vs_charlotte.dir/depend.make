@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_soda_vs_charlotte.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/link_dance.dir/link_dance.cpp.o"
+  "CMakeFiles/link_dance.dir/link_dance.cpp.o.d"
+  "link_dance"
+  "link_dance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/link_dance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

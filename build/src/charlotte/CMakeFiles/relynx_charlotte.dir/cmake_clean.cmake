@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relynx_charlotte.dir/kernel.cpp.o"
+  "CMakeFiles/relynx_charlotte.dir/kernel.cpp.o.d"
+  "librelynx_charlotte.a"
+  "librelynx_charlotte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relynx_charlotte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for relynx_charlotte.
+# This may be replaced when dependencies are built.

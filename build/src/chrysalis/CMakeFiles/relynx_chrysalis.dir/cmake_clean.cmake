@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relynx_chrysalis.dir/kernel.cpp.o"
+  "CMakeFiles/relynx_chrysalis.dir/kernel.cpp.o.d"
+  "librelynx_chrysalis.a"
+  "librelynx_chrysalis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relynx_chrysalis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

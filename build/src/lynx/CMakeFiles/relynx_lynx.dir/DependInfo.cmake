@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lynx/charlotte_backend.cpp" "src/lynx/CMakeFiles/relynx_lynx.dir/charlotte_backend.cpp.o" "gcc" "src/lynx/CMakeFiles/relynx_lynx.dir/charlotte_backend.cpp.o.d"
+  "/root/repo/src/lynx/chrysalis_backend.cpp" "src/lynx/CMakeFiles/relynx_lynx.dir/chrysalis_backend.cpp.o" "gcc" "src/lynx/CMakeFiles/relynx_lynx.dir/chrysalis_backend.cpp.o.d"
+  "/root/repo/src/lynx/message.cpp" "src/lynx/CMakeFiles/relynx_lynx.dir/message.cpp.o" "gcc" "src/lynx/CMakeFiles/relynx_lynx.dir/message.cpp.o.d"
+  "/root/repo/src/lynx/runtime.cpp" "src/lynx/CMakeFiles/relynx_lynx.dir/runtime.cpp.o" "gcc" "src/lynx/CMakeFiles/relynx_lynx.dir/runtime.cpp.o.d"
+  "/root/repo/src/lynx/soda_backend.cpp" "src/lynx/CMakeFiles/relynx_lynx.dir/soda_backend.cpp.o" "gcc" "src/lynx/CMakeFiles/relynx_lynx.dir/soda_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/relynx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/relynx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlotte/CMakeFiles/relynx_charlotte.dir/DependInfo.cmake"
+  "/root/repo/build/src/soda/CMakeFiles/relynx_soda.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrysalis/CMakeFiles/relynx_chrysalis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relynx_lynx.dir/charlotte_backend.cpp.o"
+  "CMakeFiles/relynx_lynx.dir/charlotte_backend.cpp.o.d"
+  "CMakeFiles/relynx_lynx.dir/chrysalis_backend.cpp.o"
+  "CMakeFiles/relynx_lynx.dir/chrysalis_backend.cpp.o.d"
+  "CMakeFiles/relynx_lynx.dir/message.cpp.o"
+  "CMakeFiles/relynx_lynx.dir/message.cpp.o.d"
+  "CMakeFiles/relynx_lynx.dir/runtime.cpp.o"
+  "CMakeFiles/relynx_lynx.dir/runtime.cpp.o.d"
+  "CMakeFiles/relynx_lynx.dir/soda_backend.cpp.o"
+  "CMakeFiles/relynx_lynx.dir/soda_backend.cpp.o.d"
+  "librelynx_lynx.a"
+  "librelynx_lynx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relynx_lynx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relynx_metrics.dir/complexity.cpp.o"
+  "CMakeFiles/relynx_metrics.dir/complexity.cpp.o.d"
+  "librelynx_metrics.a"
+  "librelynx_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relynx_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

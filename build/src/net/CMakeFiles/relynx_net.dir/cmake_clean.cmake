@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relynx_net.dir/csma_bus.cpp.o"
+  "CMakeFiles/relynx_net.dir/csma_bus.cpp.o.d"
+  "CMakeFiles/relynx_net.dir/token_ring.cpp.o"
+  "CMakeFiles/relynx_net.dir/token_ring.cpp.o.d"
+  "librelynx_net.a"
+  "librelynx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relynx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relynx_sim.dir/engine.cpp.o"
+  "CMakeFiles/relynx_sim.dir/engine.cpp.o.d"
+  "librelynx_sim.a"
+  "librelynx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relynx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relynx_soda.dir/kernel.cpp.o"
+  "CMakeFiles/relynx_soda.dir/kernel.cpp.o.d"
+  "librelynx_soda.a"
+  "librelynx_soda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relynx_soda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/charlotte/kernel_test.cpp" "tests/charlotte/CMakeFiles/charlotte_kernel_test.dir/kernel_test.cpp.o" "gcc" "tests/charlotte/CMakeFiles/charlotte_kernel_test.dir/kernel_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/relynx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlotte/CMakeFiles/relynx_charlotte.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/relynx_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlotte_kernel_test.dir/kernel_test.cpp.o"
+  "CMakeFiles/charlotte_kernel_test.dir/kernel_test.cpp.o.d"
+  "charlotte_kernel_test"
+  "charlotte_kernel_test.pdb"
+  "charlotte_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlotte_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

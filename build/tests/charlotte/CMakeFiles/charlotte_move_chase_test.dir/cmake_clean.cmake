@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charlotte_move_chase_test.dir/move_chase_test.cpp.o"
+  "CMakeFiles/charlotte_move_chase_test.dir/move_chase_test.cpp.o.d"
+  "charlotte_move_chase_test"
+  "charlotte_move_chase_test.pdb"
+  "charlotte_move_chase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charlotte_move_chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

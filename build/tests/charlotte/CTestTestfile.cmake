@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/charlotte
+# Build directory: /root/repo/build/tests/charlotte
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/charlotte/charlotte_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/charlotte/charlotte_move_chase_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_kernel_test.dir/kernel_test.cpp.o"
+  "CMakeFiles/chrysalis_kernel_test.dir/kernel_test.cpp.o.d"
+  "chrysalis_kernel_test"
+  "chrysalis_kernel_test.pdb"
+  "chrysalis_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chrysalis_torn_write_test.dir/torn_write_test.cpp.o"
+  "CMakeFiles/chrysalis_torn_write_test.dir/torn_write_test.cpp.o.d"
+  "chrysalis_torn_write_test"
+  "chrysalis_torn_write_test.pdb"
+  "chrysalis_torn_write_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chrysalis_torn_write_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

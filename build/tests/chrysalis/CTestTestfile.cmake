@@ -1,0 +1,8 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/chrysalis
+# Build directory: /root/repo/build/tests/chrysalis
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/chrysalis/chrysalis_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/chrysalis/chrysalis_torn_write_test[1]_include.cmake")

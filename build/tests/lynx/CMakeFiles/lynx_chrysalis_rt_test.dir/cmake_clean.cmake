@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lynx_chrysalis_rt_test.dir/chrysalis_rt_test.cpp.o"
+  "CMakeFiles/lynx_chrysalis_rt_test.dir/chrysalis_rt_test.cpp.o.d"
+  "lynx_chrysalis_rt_test"
+  "lynx_chrysalis_rt_test.pdb"
+  "lynx_chrysalis_rt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lynx_chrysalis_rt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lynx_message_test.dir/message_test.cpp.o"
+  "CMakeFiles/lynx_message_test.dir/message_test.cpp.o.d"
+  "lynx_message_test"
+  "lynx_message_test.pdb"
+  "lynx_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lynx_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lynx_runtime_semantics_test.dir/runtime_semantics_test.cpp.o"
+  "CMakeFiles/lynx_runtime_semantics_test.dir/runtime_semantics_test.cpp.o.d"
+  "lynx_runtime_semantics_test"
+  "lynx_runtime_semantics_test.pdb"
+  "lynx_runtime_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lynx_runtime_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

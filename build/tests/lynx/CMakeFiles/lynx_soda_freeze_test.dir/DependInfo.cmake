@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lynx/soda_freeze_test.cpp" "tests/lynx/CMakeFiles/lynx_soda_freeze_test.dir/soda_freeze_test.cpp.o" "gcc" "tests/lynx/CMakeFiles/lynx_soda_freeze_test.dir/soda_freeze_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/relynx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lynx/CMakeFiles/relynx_lynx.dir/DependInfo.cmake"
+  "/root/repo/build/src/charlotte/CMakeFiles/relynx_charlotte.dir/DependInfo.cmake"
+  "/root/repo/build/src/soda/CMakeFiles/relynx_soda.dir/DependInfo.cmake"
+  "/root/repo/build/src/chrysalis/CMakeFiles/relynx_chrysalis.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/relynx_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lynx_stress_test.dir/stress_test.cpp.o"
+  "CMakeFiles/lynx_stress_test.dir/stress_test.cpp.o.d"
+  "lynx_stress_test"
+  "lynx_stress_test.pdb"
+  "lynx_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lynx_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/lynx
+# Build directory: /root/repo/build/tests/lynx
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/lynx/lynx_message_test[1]_include.cmake")
+include("/root/repo/build/tests/lynx/lynx_chrysalis_rt_test[1]_include.cmake")
+include("/root/repo/build/tests/lynx/lynx_charlotte_rt_test[1]_include.cmake")
+include("/root/repo/build/tests/lynx/lynx_soda_rt_test[1]_include.cmake")
+include("/root/repo/build/tests/lynx/lynx_runtime_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/lynx/lynx_stress_test[1]_include.cmake")
+include("/root/repo/build/tests/lynx/lynx_soda_freeze_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soda_kernel_test.dir/kernel_test.cpp.o"
+  "CMakeFiles/soda_kernel_test.dir/kernel_test.cpp.o.d"
+  "soda_kernel_test"
+  "soda_kernel_test.pdb"
+  "soda_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soda_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
