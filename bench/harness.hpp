@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -153,10 +154,17 @@ inline sim::Task<> echo_server(lynx::ThreadCtx& ctx, lynx::LinkHandle link,
                                int n) {
   ctx.enable_requests(link);
   for (int i = 0; i < n; ++i) {
-    lynx::Incoming in = co_await ctx.receive();
-    lynx::Message rep;
-    rep.args = in.msg.args;
-    co_await ctx.reply(in, std::move(rep));
+    try {
+      lynx::Incoming in = co_await ctx.receive();
+      lynx::Message rep;
+      rep.args = in.msg.args;
+      co_await ctx.reply(in, std::move(rep));
+    } catch (const lynx::LynxError& e) {
+      // The client finished and hung up; under loss its teardown can
+      // race our last reply's delivery ack.  End of service, not error.
+      if (e.kind() == lynx::ErrorKind::kLinkDestroyed) break;
+      throw;
+    }
   }
 }
 
@@ -216,5 +224,41 @@ inline void print_rows(const std::vector<Row>& rows) {
 inline void print_note(const std::string& s) {
   std::printf("  %s\n", s.c_str());
 }
+
+// ---- machine-readable output ----------------------------------------------
+
+// One JSON object per line ("JSON lines"): benches emit a record per
+// measured configuration so curves can be re-plotted without parsing
+// the human tables.
+class JsonLine {
+ public:
+  JsonLine& field(const std::string& key, const std::string& value) {
+    sep();
+    buf_ += '"' + key + "\":\"" + value + '"';
+    return *this;
+  }
+  JsonLine& field(const std::string& key, const char* value) {
+    return field(key, std::string(value));
+  }
+  JsonLine& field(const std::string& key, double value) {
+    char num[64];
+    std::snprintf(num, sizeof num, "%.6g", value);
+    sep();
+    buf_ += '"' + key + "\":" + num;
+    return *this;
+  }
+  JsonLine& field(const std::string& key, std::int64_t value) {
+    sep();
+    buf_ += '"' + key + "\":" + std::to_string(value);
+    return *this;
+  }
+  void emit() { std::printf("%s}\n", buf_.c_str()); }
+
+ private:
+  void sep() {
+    if (buf_.size() > 1) buf_ += ',';
+  }
+  std::string buf_ = "{";
+};
 
 }  // namespace bench

@@ -12,11 +12,33 @@ Cluster::Cluster(sim::Engine& engine, std::size_t nodes,
                  net::TokenRingParams ring_params, Costs costs)
     : engine_(&engine),
       costs_(costs),
-      ring_(std::make_unique<net::TokenRing>(engine, ring_params)) {
+      ring_(std::make_unique<net::TokenRing>(engine, ring_params)),
+      medium_(ring_.get()) {
   kernels_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
     kernels_.push_back(
         std::make_unique<Kernel>(*this, net::NodeId(static_cast<std::uint32_t>(i))));
+  }
+}
+
+Cluster::Cluster(sim::Engine& engine, std::size_t nodes, net::Medium& medium,
+                 Costs costs)
+    : engine_(&engine), costs_(costs), medium_(&medium) {
+  kernels_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    kernels_.push_back(
+        std::make_unique<Kernel>(*this, net::NodeId(static_cast<std::uint32_t>(i))));
+  }
+}
+
+void Cluster::sever(net::NodeId a, net::NodeId b) {
+  kernel(a).notify_peer_lost(b);
+  kernel(b).notify_peer_lost(a);
+}
+
+void Cluster::notify_node_down(net::NodeId down) {
+  for (auto& k : kernels_) {
+    if (k->node() != down) k->notify_peer_lost(down);
   }
 }
 
@@ -54,10 +76,10 @@ LinkPair Cluster::bootstrap_link(Pid a, Pid b) {
   Kernel& kb = kernel(nb);
   ka.ends_.emplace(e1, Kernel::EndState{e1, link, e2, a, nb, na, false,
                                         false, std::nullopt, std::nullopt,
-                                        {}, 0});
+                                        {}, 0, {}});
   kb.ends_.emplace(e2, Kernel::EndState{e2, link, e1, b, na, na, false,
                                         false, std::nullopt, std::nullopt,
-                                        {}, 0});
+                                        {}, 0, {}});
   ka.homes_.emplace(link,
                     Kernel::HomeRecord{link, Kernel::HomeEndInfo{e1, na, a},
                                        Kernel::HomeEndInfo{e2, nb, b}, false});
@@ -80,7 +102,8 @@ std::uint64_t Cluster::total_move_frames() const {
 
 Kernel::Kernel(Cluster& cluster, net::NodeId node)
     : cluster_(&cluster), node_(node) {
-  cluster_->ring().attach(node_, [this](const net::Frame& f) { on_frame(f); });
+  cluster_->medium().attach(node_,
+                            [this](const net::Frame& f) { on_frame(f); });
 }
 
 void Kernel::transmit(net::NodeId dst, wire::KernelFrame frame) {
@@ -101,7 +124,7 @@ void Kernel::transmit(net::NodeId dst, wire::KernelFrame frame) {
         });
     return;
   }
-  cluster_->ring().send(net::Frame{node_, dst, bytes, std::move(frame)});
+  cluster_->medium().send(net::Frame{node_, dst, bytes, std::move(frame)});
 }
 
 void Kernel::on_frame(const net::Frame& frame) {
@@ -152,9 +175,9 @@ sim::Task<common::Result<LinkPair, Status>> Kernel::make_link(Pid caller) {
   const EndId e1 = cluster_->new_end();
   const EndId e2 = cluster_->new_end();
   EndState s1{e1, link, e2, caller, node_, node_, false, false,
-              std::nullopt, std::nullopt, {}, 0};
+              std::nullopt, std::nullopt, {}, 0, {}};
   EndState s2{e2, link, e1, caller, node_, node_, false, false,
-              std::nullopt, std::nullopt, {}, 0};
+              std::nullopt, std::nullopt, {}, 0, {}};
   ends_.emplace(e1, std::move(s1));
   ends_.emplace(e2, std::move(s2));
   homes_.emplace(link, HomeRecord{link,
@@ -204,7 +227,7 @@ sim::Task<Status> Kernel::send(Pid caller, EndId end_id, Payload data,
   wire::Msg msg{seq, end_id, end->peer, std::move(data), has_enclosure, desc};
   const std::size_t len = msg.data.size();
   end->send = SendActivity{msg, has_enclosure ? desc.end : EndId::invalid(),
-                           false};
+                           false, 1, {}};
   const net::NodeId dst = end->peer_node;
 
   const Costs& costs = cluster_->costs();
@@ -213,7 +236,62 @@ sim::Task<Status> Kernel::send(Pid caller, EndId end_id, Payload data,
   if (has_enclosure) cost += costs.enclosure_processing;
   co_await cluster_->engine().sleep(cost);
   transmit(dst, std::move(msg));
+  // Re-find the end: the sleep may have raced a destroy or a move.
+  if (EndState* e = find_end(end_id);
+      e != nullptr && e->send.has_value() && e->send->msg.seq == seq) {
+    arm_send_timer(*e);
+  }
   co_return Status::kOk;
+}
+
+void Kernel::arm_send_timer(EndState& end) {
+  const sim::Duration timeout = cluster_->costs().send_retransmit_timeout;
+  if (timeout <= 0 || !end.send.has_value()) return;
+  end.send->retry.cancel();
+  end.send->retry = cluster_->engine().schedule_cancellable(
+      timeout, [this, id = end.id, seq = end.send->msg.seq] {
+        on_send_timeout(id, seq);
+      });
+}
+
+void Kernel::on_send_timeout(EndId end_id, std::uint64_t seq) {
+  EndState* end = find_end(end_id);
+  if (end == nullptr || end->destroyed || !end->send.has_value() ||
+      end->send->msg.seq != seq) {
+    return;
+  }
+  if (end->send->attempts >= cluster_->costs().max_send_attempts) {
+    // Out of patience: the peer, or every path to it, is gone.  Report
+    // an absolute failure — Charlotte knows, it does not hint.
+    end->destroyed = true;
+    fail_end_activities(*end, Status::kLinkFailed);
+    return;
+  }
+  ++end->send->attempts;
+  ++retransmits_;
+  transmit(end->peer_node, end->send->msg);
+  arm_send_timer(*end);
+}
+
+void Kernel::clear_send(EndState& end) {
+  if (end.send.has_value()) {
+    end.send->retry.cancel();
+    end.send.reset();
+  }
+}
+
+void Kernel::notify_peer_lost(net::NodeId peer) {
+  for (auto& [id, end] : ends_) {
+    if (end.destroyed || end.peer_node != peer) continue;
+    end.destroyed = true;
+    fail_end_activities(end, Status::kLinkFailed);
+    // Tell the home (unless the home itself is the lost node) so the
+    // record is retired and any third party holding the far end hears
+    // LinkDown as well.
+    if (end.home != peer) {
+      transmit(end.home, wire::DestroyUpdate{end.link, end.id});
+    }
+  }
 }
 
 sim::Task<Status> Kernel::receive(Pid caller, EndId end_id,
@@ -332,7 +410,7 @@ void Kernel::deliver_pending(EndState& end) {
     // Install the moved end locally and tell the home.
     EndState moved{desc.end, desc.link, desc.peer, end.owner, desc.peer_node,
                    desc.home, false, false, std::nullopt, std::nullopt,
-                   {}, 0};
+                   {}, 0, {}};
     ends_.emplace(desc.end, std::move(moved));
     transmit(desc.home, wire::MoveUpdate{next_move_seq_++, desc.link,
                                          desc.end, node_, end.owner});
@@ -340,6 +418,8 @@ void Kernel::deliver_pending(EndState& end) {
     cost += cluster_->costs().enclosure_processing;
   }
   ++end.unwaited_recv_completions;
+  end.acked.emplace_back(pm.msg.seq, len);
+  if (end.acked.size() > 16) end.acked.pop_front();
 
   const Pid owner = end.owner;
   const net::NodeId ack_to = pm.from_node;
@@ -363,7 +443,7 @@ void Kernel::fail_end_activities(EndState& end, Status status) {
         enc->in_transit = false;
       }
     }
-    end.send.reset();
+    clear_send(end);
     complete(end.owner, c);
   }
   if (end.recv.has_value()) {
@@ -401,8 +481,24 @@ void Kernel::handle(const wire::Msg& m, net::NodeId from) {
     transmit(from, wire::MsgNackDestroyed{m.seq, m.from_end});
     return;
   }
+  if (deduplicate(*end, m, from)) return;
   end->pending.push_back(PendingMsg{m, from});
   deliver_pending(*end);
+}
+
+bool Kernel::deduplicate(EndState& end, const wire::Msg& m, net::NodeId from) {
+  for (const auto& [seq, len] : end.acked) {
+    if (seq == m.seq) {
+      // Already delivered; the original ack (or this replacement) was
+      // lost in flight.  Re-ack so the sender's timer stands down.
+      transmit(from, wire::MsgAck{m.seq, m.from_end, len});
+      return true;
+    }
+  }
+  for (const PendingMsg& pm : end.pending) {
+    if (pm.msg.seq == m.seq) return true;  // queued; delivery will ack
+  }
+  return false;
 }
 
 void Kernel::handle(const wire::MsgAck& m, net::NodeId from) {
@@ -412,7 +508,7 @@ void Kernel::handle(const wire::MsgAck& m, net::NodeId from) {
     return;  // stale ack (e.g. the send was failed by a LinkDown race)
   }
   const EndId enclosure = end->send->enclosure;
-  end->send.reset();
+  clear_send(*end);
   Completion c;
   c.end = end->id;
   c.direction = Direction::kSend;
@@ -453,6 +549,7 @@ void Kernel::handle(const wire::MsgNackMoved& m, net::NodeId /*from*/) {
       cost, [this, msg = end->send->msg, dst = m.new_node] {
         transmit(dst, msg);
       });
+  arm_send_timer(*end);
 }
 
 void Kernel::handle(const wire::MsgNackDestroyed& m, net::NodeId /*from*/) {
@@ -492,7 +589,7 @@ void Kernel::handle(const wire::CancelReply& m, net::NodeId /*from*/) {
       enc->in_transit = false;
     }
   }
-  end->send.reset();
+  clear_send(*end);
   Completion c;
   c.end = end->id;
   c.direction = Direction::kSend;

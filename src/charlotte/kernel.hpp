@@ -69,6 +69,14 @@ class Kernel {
   // at process shutdown); not a Charlotte call.
   void inject_completion(Pid pid, Completion c) { complete(pid, std::move(c)); }
 
+  // ---- failure notices -------------------------------------------------
+  // The kernel has learned (from the fault layer, or from exhausted
+  // retransmission) that `peer` is unreachable.  Every link with an end
+  // on `peer` fails absolutely: local activities complete with
+  // kLinkFailed and the end is dead, exactly as the paper requires of
+  // Charlotte's full link-state knowledge.
+  void notify_peer_lost(net::NodeId peer);
+
   // ---- process lifecycle ---------------------------------------------
   void register_process(Pid pid);
   // Destroys all links attached to the process (normal exit and crash
@@ -89,9 +97,11 @@ class Kernel {
   friend class Cluster;
 
   struct SendActivity {
-    wire::Msg msg;  // retained whole for NACK-driven retransmission
+    wire::Msg msg;  // retained whole for NACK- and timeout-driven resends
     EndId enclosure = EndId::invalid();
     bool cancel_requested = false;
+    int attempts = 1;
+    sim::TimerHandle retry;  // armed only when send_retransmit_timeout > 0
   };
   struct RecvActivity {
     std::size_t max_len = 0;
@@ -113,6 +123,10 @@ class Kernel {
     std::optional<RecvActivity> recv;
     std::deque<PendingMsg> pending;
     int unwaited_recv_completions = 0;
+    // Recently delivered (seq, length) pairs, so a duplicated Msg — a
+    // retransmission whose original did arrive, or a fault-injected
+    // copy — is re-acked instead of delivered twice.
+    std::deque<std::pair<std::uint64_t, std::size_t>> acked;
   };
   struct HomeEndInfo {
     EndId end;
@@ -145,6 +159,11 @@ class Kernel {
   void complete(Pid pid, Completion c);
   void fail_end_activities(EndState& end, Status status);
   void begin_destroy(EndState& end);
+  void arm_send_timer(EndState& end);
+  void on_send_timeout(EndId end_id, std::uint64_t seq);
+  void clear_send(EndState& end);  // cancels the retry timer too
+  // True if `seq` was already delivered on `end` (re-acks if so).
+  bool deduplicate(EndState& end, const wire::Msg& m, net::NodeId from);
   [[nodiscard]] EndState* find_end(EndId id);
   [[nodiscard]] Status validate_owned(Pid caller, EndId id, EndState** out);
 
@@ -168,14 +187,29 @@ class Cluster {
  public:
   Cluster(sim::Engine& engine, std::size_t nodes,
           net::TokenRingParams ring_params = {}, Costs costs = {});
+  // Runs the cluster over an externally-owned medium (typically a
+  // fault::FaultyMedium wrapping a TokenRing).  The medium must outlive
+  // the cluster; ring() is unavailable in this mode.
+  Cluster(sim::Engine& engine, std::size_t nodes, net::Medium& medium,
+          Costs costs = {});
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
   ~Cluster();
 
   [[nodiscard]] sim::Engine& engine() { return *engine_; }
   [[nodiscard]] const Costs& costs() const { return costs_; }
-  [[nodiscard]] net::TokenRing& ring() { return *ring_; }
+  [[nodiscard]] net::TokenRing& ring() {
+    RELYNX_ASSERT_MSG(ring_ != nullptr, "cluster runs on an external medium");
+    return *ring_;
+  }
+  [[nodiscard]] net::Medium& medium() { return *medium_; }
   [[nodiscard]] std::size_t node_count() const { return kernels_.size(); }
+
+  // ---- failure notices (driven by the fault layer) --------------------
+  // Both ends of the a<->b path learn the other side is unreachable.
+  void sever(net::NodeId a, net::NodeId b);
+  // Every other kernel learns `down` is unreachable (node crash).
+  void notify_node_down(net::NodeId down);
 
   [[nodiscard]] Kernel& kernel(net::NodeId node);
   [[nodiscard]] Pid create_process(net::NodeId node);
@@ -200,7 +234,8 @@ class Cluster {
 
   sim::Engine* engine_;
   Costs costs_;
-  std::unique_ptr<net::TokenRing> ring_;
+  std::unique_ptr<net::TokenRing> ring_;  // null when medium is external
+  net::Medium* medium_;                   // the wire all kernels use
   std::vector<std::unique_ptr<Kernel>> kernels_;
   std::unordered_map<Pid, net::NodeId> process_node_;
   common::IdAllocator<EndId> end_ids_;

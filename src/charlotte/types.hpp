@@ -44,6 +44,11 @@ enum class Status : std::uint8_t {
   kEndInTransit,     // end is currently enclosed in an unacked message
   kBadEnclosure,     // enclosure invalid / busy / equal to carrier end
   kCancelled,        // activity revoked by a successful Cancel
+  kLinkFailed,       // transport gave up: peer node crashed or unreachable.
+                     // Distinct from kLinkDestroyed — nobody destroyed the
+                     // link; the kernel is reporting an *absolute* failure
+                     // notice, which the paper contrasts with SODA's
+                     // out-of-date hints (§2, §3.1).
 };
 
 [[nodiscard]] constexpr const char* to_string(Status s) {
@@ -58,6 +63,7 @@ enum class Status : std::uint8_t {
     case Status::kEndInTransit: return "end-in-transit";
     case Status::kBadEnclosure: return "bad-enclosure";
     case Status::kCancelled: return "cancelled";
+    case Status::kLinkFailed: return "link-failed";
   }
   return "?";
 }
@@ -94,6 +100,14 @@ struct Costs {
   // extra kernel work when a frame carries an enclosure (move protocol
   // bookkeeping on each involved kernel)
   sim::Duration enclosure_processing = sim::msec(2);
+  // Transport-level send retransmission, for running over an impaired
+  // medium.  0 disables the timer entirely (the seed behaviour: the
+  // ring never loses frames, so Charlotte never needed one).  When
+  // enabled, an unacked Msg is retransmitted every timeout until
+  // max_send_attempts, then the kernel declares the link failed —
+  // Charlotte's absolute failure notice.
+  sim::Duration send_retransmit_timeout = sim::Duration(0);
+  int max_send_attempts = 5;
 };
 
 }  // namespace charlotte

@@ -1,0 +1,53 @@
+#include "fault/fault.hpp"
+
+#include <sstream>
+
+namespace fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kCorruptDiscard: return "corrupt-discard";
+    case FaultKind::kCutDrop: return "cut-drop";
+    case FaultKind::kPartitionDrop: return "partition-drop";
+    case FaultKind::kCrashDrop: return "crash-drop";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRestart: return "restart";
+    case FaultKind::kCut: return "cut";
+    case FaultKind::kHeal: return "heal";
+  }
+  return "?";
+}
+
+std::uint64_t digest(const std::vector<FaultRecord>& log) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffULL;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const FaultRecord& r : log) {
+    mix(static_cast<std::uint64_t>(r.at));
+    mix(static_cast<std::uint64_t>(r.kind));
+    mix(r.frame_id);
+    mix(r.src.value());
+    mix(r.dst.value());
+    mix(static_cast<std::uint64_t>(r.delay));
+  }
+  return h;
+}
+
+std::string describe(const FaultRecord& record) {
+  std::ostringstream os;
+  os << "[t=" << sim::to_msec(record.at) << "ms] " << to_string(record.kind);
+  if (record.frame_id != 0) os << " frame#" << record.frame_id;
+  os << " " << record.src << "->" << record.dst;
+  if (record.delay != 0) os << " +" << sim::to_usec(record.delay) << "us";
+  return os.str();
+}
+
+}  // namespace fault

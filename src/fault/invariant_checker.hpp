@@ -1,0 +1,67 @@
+// End-to-end invariants over an impaired network.
+//
+// The checker subscribes to a FaultyMedium's fault and delivery streams
+// and cross-checks them: every delivery must be explainable by the
+// current topology state, and every anomaly the application could see
+// (a duplicate, a late frame) must be matched by an injected fault.
+// Chaos tests assert ok() at the end of a run — a violation means the
+// fault layer itself (or a medium under it) broke its contract, which
+// would invalidate any conclusion drawn from the experiment.
+//
+// Invariants:
+//   I1  no frame is delivered to a crashed node
+//   I2  no frame is delivered across a currently-severed link
+//   I3  no corrupted frame reaches an application handler
+//   I4  a (frame, receiver) pair is delivered at most once per injected
+//       duplicate (base delivery + one per kDuplicate record)
+//   I5  the fault log is monotone in time
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "fault/faulty_medium.hpp"
+
+namespace fault {
+
+class InvariantChecker {
+ public:
+  // Subscribes to `medium`; the checker must outlive the simulation run.
+  explicit InvariantChecker(FaultyMedium& medium);
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<std::string>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t deliveries_checked() const {
+    return deliveries_checked_;
+  }
+  [[nodiscard]] std::uint64_t faults_checked() const {
+    return faults_checked_;
+  }
+
+ private:
+  void on_fault(const FaultRecord& record);
+  void on_delivery(const net::Frame& frame, net::NodeId receiver);
+  void violate(std::string what);
+
+  FaultyMedium* medium_;
+  // frame id -> injected duplicate count (extra deliveries allowed per
+  // receiver beyond the first)
+  std::unordered_map<std::uint64_t, std::uint32_t> dup_budget_;
+  // (frame id, receiver) -> deliveries seen
+  std::map<std::pair<std::uint64_t, net::NodeId>, std::uint32_t> delivered_;
+  sim::Time last_fault_at_ = 0;
+  std::uint64_t deliveries_checked_ = 0;
+  std::uint64_t faults_checked_ = 0;
+  std::vector<std::string> violations_;
+};
+
+}  // namespace fault

@@ -1,0 +1,116 @@
+// Deterministic fault schedules.
+//
+// A Plan is data, not behaviour: a list of timed topology actions (cut
+// this link at t=2s, crash that node at t=5s), a list of loss windows
+// (drop 10% of frames from A to B between t=1s and t=3s), and a
+// background impairment model applied to all traffic.  FaultyMedium
+// arms the plan against an Engine; together with the medium's seed it
+// fully determines the fault sequence, so a failing chaos run can be
+// replayed exactly from (seed, plan).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace fault {
+
+// Stochastic impairment applied to every frame while the medium runs.
+// All probabilities are per-frame (per-receiver for broadcast legs).
+struct BackgroundModel {
+  double drop_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double corrupt_prob = 0.0;
+  sim::Duration max_jitter = 0;  // uniform extra delay in [0, max_jitter]
+};
+
+// A window of elevated loss.  Invalid src/dst act as wildcards.
+struct DropWindow {
+  sim::Time from = 0;
+  sim::Time to = 0;  // inclusive of from, exclusive of to
+  double prob = 0.0;
+  net::NodeId src;
+  net::NodeId dst;
+
+  [[nodiscard]] bool matches(sim::Time now, net::NodeId frame_src,
+                             net::NodeId frame_dst) const {
+    if (now < from || now >= to) return false;
+    if (src.valid() && src != frame_src) return false;
+    if (dst.valid() && frame_dst.valid() && dst != frame_dst) return false;
+    return true;
+  }
+};
+
+struct Action {
+  enum class Op : std::uint8_t {
+    kCutLink,
+    kHealLink,
+    kPartition,
+    kHealAll,
+    kCrash,
+    kRestart,
+  };
+  sim::Time at = 0;
+  Op op{};
+  net::NodeId a;
+  net::NodeId b;
+  std::vector<net::NodeId> island;  // kPartition: nodes isolated from the rest
+};
+
+class Plan {
+ public:
+  Plan& cut_link(sim::Time at, net::NodeId a, net::NodeId b) {
+    actions_.push_back({at, Action::Op::kCutLink, a, b, {}});
+    return *this;
+  }
+  Plan& heal_link(sim::Time at, net::NodeId a, net::NodeId b) {
+    actions_.push_back({at, Action::Op::kHealLink, a, b, {}});
+    return *this;
+  }
+  // Isolate `island` from every node outside it (both directions).
+  Plan& partition(sim::Time at, std::vector<net::NodeId> island) {
+    actions_.push_back(
+        {at, Action::Op::kPartition, {}, {}, std::move(island)});
+    return *this;
+  }
+  // Restore all cuts and partitions.
+  Plan& heal_all(sim::Time at) {
+    actions_.push_back({at, Action::Op::kHealAll, {}, {}, {}});
+    return *this;
+  }
+  Plan& crash(sim::Time at, net::NodeId node) {
+    actions_.push_back({at, Action::Op::kCrash, node, {}, {}});
+    return *this;
+  }
+  Plan& restart(sim::Time at, net::NodeId node) {
+    actions_.push_back({at, Action::Op::kRestart, node, {}, {}});
+    return *this;
+  }
+  Plan& drop_between(sim::Time from, sim::Time to, double prob,
+                     net::NodeId src = {}, net::NodeId dst = {}) {
+    windows_.push_back({from, to, prob, src, dst});
+    return *this;
+  }
+  Plan& background(BackgroundModel model) {
+    background_ = model;
+    return *this;
+  }
+
+  [[nodiscard]] const std::vector<Action>& actions() const { return actions_; }
+  [[nodiscard]] const std::vector<DropWindow>& windows() const {
+    return windows_;
+  }
+  [[nodiscard]] const BackgroundModel& background() const {
+    return background_;
+  }
+
+ private:
+  std::vector<Action> actions_;
+  std::vector<DropWindow> windows_;
+  BackgroundModel background_{};
+};
+
+}  // namespace fault

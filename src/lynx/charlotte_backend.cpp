@@ -8,6 +8,14 @@ namespace {
 
 constexpr std::size_t kMaxReceive = 64 * 1024;
 
+// Both statuses end the link from the runtime's point of view; kLinkFailed
+// is the kernel's absolute transport-failure notice (crashed peer, severed
+// ring) rather than a deliberate Destroy, but LYNX reacts identically.
+bool link_gone(charlotte::Status st) {
+  return st == charlotte::Status::kLinkDestroyed ||
+         st == charlotte::Status::kLinkFailed;
+}
+
 }  // namespace
 
 // A Charlotte send in flight at the LYNX level.
@@ -190,7 +198,7 @@ sim::Task<> CharlotteBackend::run_ksend(BLink token) {
   if (link == nullptr) co_return;
   link->kernel_send_busy = false;
   if (!link->ksend_queue.empty()) link->ksend_queue.pop_front();
-  if (st == charlotte::Status::kLinkDestroyed) {
+  if (link_gone(st)) {
     fail_link(*link);
   } else if (!link->ksend_queue.empty()) {
     cluster_->engine().spawn("charlotte-ksend", run_ksend(token));
@@ -228,7 +236,7 @@ void CharlotteBackend::dispatch_send_done(const charlotte::Completion& c) {
   link->ksend_queue.pop_front();
   link->kernel_send_busy = false;
 
-  if (c.status == charlotte::Status::kLinkDestroyed) {
+  if (link_gone(c.status)) {
     fail_link(*link);
     return;
   }
@@ -295,7 +303,7 @@ void CharlotteBackend::drain(CLink& link) {
 void CharlotteBackend::dispatch_receive(const charlotte::Completion& c) {
   CLink* link = find_by_end(c.end);
   if (link == nullptr) return;
-  if (c.status == charlotte::Status::kLinkDestroyed) {
+  if (link_gone(c.status)) {
     link->recv_posted = false;
     fail_link(*link);
     return;
@@ -509,7 +517,7 @@ sim::Task<> CharlotteBackend::post_receive(BLink token) {
       pid_, link->end, kMaxReceive);
   link = find(token);
   if (link == nullptr) co_return;
-  if (st == charlotte::Status::kLinkDestroyed) {
+  if (link_gone(st)) {
     link->recv_posted = false;
     fail_link(*link);
   } else if (st != charlotte::Status::kOk &&

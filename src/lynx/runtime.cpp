@@ -382,8 +382,16 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
       throw LynxError(ErrorKind::kAborted, "request aborted in flight");
     }
     case SendResult::kLinkDestroyed: {
-      if (auto* cur = p.find_link(link)) cur->destroyed = true;
-      throw LynxError(ErrorKind::kLinkDestroyed, "request undeliverable");
+      auto* cur = p.find_link(link);
+      if (cur != nullptr) cur->destroyed = true;
+      // A reply already queued for this call proves the request WAS
+      // delivered: the peer answered it and only the delivery ack (or
+      // the link itself, afterwards) was lost.  Hand the caller its
+      // reply; the destroyed link bites on the NEXT use.
+      if (cur == nullptr || cur->reply_q.empty()) {
+        throw LynxError(ErrorKind::kLinkDestroyed, "request undeliverable");
+      }
+      break;
     }
     case SendResult::kReplyUnwanted:
       RELYNX_ASSERT_MSG(false, "request cannot be an unwanted reply");
@@ -391,7 +399,7 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
 
   // ---- await the reply (block point) ---------------------------------
   Process::LinkState* lsp = p.find_link(link);
-  if (lsp == nullptr || lsp->destroyed) {
+  if (lsp == nullptr || (lsp->destroyed && lsp->reply_q.empty())) {
     throw LynxError(ErrorKind::kLinkDestroyed, "link died before reply");
   }
   Process::Delivered reply_msg{};

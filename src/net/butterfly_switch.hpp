@@ -52,10 +52,23 @@ class ButterflyFabric {
   // remote) memory object.
   [[nodiscard]] sim::Duration block_transfer(std::size_t bytes,
                                              bool remote) const {
+    return block_transfer(bytes, remote, 0);
+  }
+
+  // Same, with `contenders` other processors holding paths through the
+  // switch: each adds one stage-traversal of queueing ahead of us (the
+  // Butterfly's stages serialize conflicting paths).  contenders == 0
+  // reproduces the uncontended cost exactly.
+  [[nodiscard]] sim::Duration block_transfer(std::size_t bytes, bool remote,
+                                             std::uint32_t contenders) const {
     sim::Duration setup = remote
                               ? params_.switch_setup +
                                     params_.hop_latency * stages_
                               : params_.local_reference;
+    if (remote && contenders > 0) {
+      setup += params_.hop_latency * stages_ *
+               static_cast<sim::Duration>(contenders);
+    }
     return setup + params_.per_byte_block *
                        static_cast<sim::Duration>(bytes);
   }

@@ -11,12 +11,20 @@ void CsmaBus::attach(NodeId node, FrameHandler handler) {
 
 void CsmaBus::send(Frame frame) {
   RELYNX_ASSERT_MSG(handlers_.contains(frame.dst), "send to unattached node");
+  stamp(frame);
   try_transmit(std::move(frame), /*is_broadcast=*/false, /*attempt=*/0);
 }
 
 void CsmaBus::broadcast(Frame frame) {
   frame.dst = NodeId::invalid();
+  stamp(frame);
   try_transmit(std::move(frame), /*is_broadcast=*/true, /*attempt=*/0);
+}
+
+void CsmaBus::record_drop(const Frame& frame, NodeId receiver) {
+  ++drops_;
+  ++drops_at_[receiver];
+  if (on_drop_) on_drop_(frame, receiver);
 }
 
 sim::Duration CsmaBus::backoff_delay(int attempt) {
@@ -50,7 +58,7 @@ void CsmaBus::deliver(const Frame& frame, bool is_broadcast) {
   if (!is_broadcast) {
     if (params_.unicast_drop_prob > 0.0 &&
         rng_.next_bool(params_.unicast_drop_prob)) {
-      ++drops_;
+      record_drop(frame, frame.dst);
       return;
     }
     auto it = handlers_.find(frame.dst);
@@ -63,7 +71,7 @@ void CsmaBus::deliver(const Frame& frame, bool is_broadcast) {
     if (node == frame.src) continue;
     if (params_.broadcast_drop_prob > 0.0 &&
         rng_.next_bool(params_.broadcast_drop_prob)) {
-      ++drops_;
+      record_drop(frame, node);
       continue;
     }
     engine_->schedule(params_.propagation,

@@ -48,6 +48,17 @@ class CsmaBus final : public Medium {
   [[nodiscard]] std::uint64_t backoffs() const { return backoffs_; }
   [[nodiscard]] std::uint64_t drops() const { return drops_; }
 
+  // Loss observability: the global counter says only *that* frames were
+  // lost; callers (fault::InvariantChecker, loss-sensitive protocols)
+  // need to know *which* frame missed *which* receiver.
+  using DropObserver = std::function<void(const Frame&, NodeId receiver)>;
+  void set_drop_observer(DropObserver obs) { on_drop_ = std::move(obs); }
+  // Frames dropped on the way to `node` specifically.
+  [[nodiscard]] std::uint64_t drops_at(NodeId node) const {
+    auto it = drops_at_.find(node);
+    return it == drops_at_.end() ? 0 : it->second;
+  }
+
   [[nodiscard]] sim::Duration clock_out_time(std::size_t payload_bytes) const {
     const auto bits = static_cast<std::int64_t>(
         8 * (payload_bytes + params_.header_bytes));
@@ -58,17 +69,20 @@ class CsmaBus final : public Medium {
  private:
   void try_transmit(Frame frame, bool is_broadcast, int attempt);
   void deliver(const Frame& frame, bool is_broadcast);
+  void record_drop(const Frame& frame, NodeId receiver);
   [[nodiscard]] sim::Duration backoff_delay(int attempt);
 
   sim::Engine* engine_;
   sim::Rng rng_;
   CsmaBusParams params_;
   std::unordered_map<NodeId, FrameHandler> handlers_;
+  DropObserver on_drop_;
   bool busy_ = false;
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t backoffs_ = 0;
   std::uint64_t drops_ = 0;
+  std::unordered_map<NodeId, std::uint64_t> drops_at_;
 };
 
 }  // namespace net

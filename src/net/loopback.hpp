@@ -22,6 +22,7 @@ class Loopback final : public Medium {
   }
 
   void send(Frame frame) override {
+    stamp(frame);
     ++frames_;
     bytes_ += frame.payload_bytes;
     auto it = handlers_.find(frame.dst);
@@ -31,6 +32,7 @@ class Loopback final : public Medium {
   }
 
   void broadcast(Frame frame) override {
+    stamp(frame);
     ++frames_;
     bytes_ += frame.payload_bytes;
     for (auto& [node, handler] : handlers_) {

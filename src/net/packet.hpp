@@ -28,6 +28,12 @@ struct Frame {
   NodeId dst;  // ignored for broadcast
   std::size_t payload_bytes = 0;
   std::any body;
+  // Medium-assigned, unique per medium instance (0 = not yet stamped).
+  // Lets fault injection and drop observers name the exact frame lost.
+  std::uint64_t id = 0;
+  // Set by fault injection; a receiver-side checksum would reject the
+  // frame, so impaired media discard marked frames at the boundary.
+  bool corrupted = false;
 
   template <typename T>
   [[nodiscard]] const T& as() const {
@@ -58,6 +64,16 @@ class Medium {
   // Observability for experiments.
   [[nodiscard]] virtual std::uint64_t frames_sent() const = 0;
   [[nodiscard]] virtual std::uint64_t bytes_sent() const = 0;
+
+ protected:
+  // Gives every frame a medium-unique id on entry (idempotent: a
+  // wrapping medium may have stamped it already).
+  void stamp(Frame& frame) {
+    if (frame.id == 0) frame.id = ++next_frame_id_;
+  }
+
+ private:
+  std::uint64_t next_frame_id_ = 0;
 };
 
 }  // namespace net

@@ -9,6 +9,7 @@ void TokenRing::attach(NodeId node, FrameHandler handler) {
 
 void TokenRing::send(Frame frame) {
   RELYNX_ASSERT_MSG(handlers_.contains(frame.dst), "send to unattached node");
+  stamp(frame);
   backlog_.push_back(std::move(frame));
   if (!busy_) start_next();
 }
@@ -17,6 +18,7 @@ void TokenRing::broadcast(Frame frame) {
   // The ring delivers a broadcast frame to every station in one rotation;
   // model as one transmission fanned out at completion.
   frame.dst = NodeId::invalid();
+  stamp(frame);
   backlog_.push_back(std::move(frame));
   if (!busy_) start_next();
 }

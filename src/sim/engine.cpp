@@ -17,37 +17,68 @@ Engine::~Engine() {
   }
 }
 
+void Engine::push_event(Event ev) {
+  queue_.push_back(std::move(ev));
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+}
+
+Engine::Event Engine::pop_event() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event ev = std::move(queue_.back());
+  queue_.pop_back();
+  return ev;
+}
+
+bool Engine::prune_head() {
+  while (!queue_.empty()) {
+    const Event& head = queue_.front();
+    if (!head.alive || *head.alive) return true;
+    (void)pop_event();
+    if (cancelled_ > 0) --cancelled_;
+  }
+  return false;
+}
+
+void Engine::note_cancelled() {
+  ++cancelled_;
+  // Reclaim once dead events dominate: O(n) rebuild amortized against
+  // the n cancellations that triggered it.
+  if (cancelled_ >= 64 && cancelled_ * 2 >= queue_.size()) compact();
+}
+
+void Engine::compact() {
+  std::erase_if(queue_,
+                [](const Event& ev) { return ev.alive && !*ev.alive; });
+  std::make_heap(queue_.begin(), queue_.end(), Later{});
+  cancelled_ = 0;
+}
+
 void Engine::schedule(Duration delay, std::function<void()> fn) {
   RELYNX_ASSERT_MSG(delay >= 0, "cannot schedule into the past");
-  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  push_event(Event{now_ + delay, next_seq_++, std::move(fn), nullptr});
 }
 
 void Engine::schedule_at(Time t, std::function<void()> fn) {
   RELYNX_ASSERT_MSG(t >= now_, "cannot schedule into the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  push_event(Event{t, next_seq_++, std::move(fn), nullptr});
 }
 
 TimerHandle Engine::schedule_cancellable(Duration delay,
                                          std::function<void()> fn) {
+  RELYNX_ASSERT_MSG(delay >= 0, "cannot schedule into the past");
   auto alive = std::make_shared<bool>(true);
-  TimerHandle handle(alive);
-  schedule(delay, [alive = std::move(alive), fn = std::move(fn)] {
-    if (*alive) {
-      *alive = false;
-      fn();
-    }
-  });
+  TimerHandle handle(this, alive);
+  push_event(Event{now_ + delay, next_seq_++, std::move(fn),
+                   std::move(alive)});
   return handle;
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  // The stored std::function must outlive the queue slot: the callback
-  // may schedule new events, invalidating the queue's top reference.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+  if (!prune_head()) return false;
+  Event ev = pop_event();
   RELYNX_ASSERT(ev.at >= now_);
   now_ = ev.at;
+  if (ev.alive) *ev.alive = false;  // fired: handle reports !pending()
   ev.fn();
   return true;
 }
@@ -61,8 +92,8 @@ void Engine::run() {
 bool Engine::run_until(Time deadline) {
   stop_requested_ = false;
   while (!stop_requested_) {
-    if (queue_.empty()) return true;
-    if (queue_.top().at > deadline) return false;
+    if (!prune_head()) return true;
+    if (queue_.front().at > deadline) return false;
     step();
   }
   return false;

@@ -11,11 +11,11 @@
 // sweep::, which runs many independent Engines on a thread pool.
 #pragma once
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,17 +29,19 @@ namespace sim {
 class Engine;
 
 // Cancellable handle to a scheduled event (retry timers and the like).
+// Cancelling tells the engine, which reclaims dead events eagerly (see
+// Engine::note_cancelled) instead of carrying their closures until fire
+// time — long chaos sweeps cancel thousands of retransmit timers.
 class TimerHandle {
  public:
   TimerHandle() = default;
-  void cancel() {
-    if (alive_) *alive_ = false;
-  }
+  void cancel();
   [[nodiscard]] bool pending() const { return alive_ && *alive_; }
 
  private:
-  explicit TimerHandle(std::shared_ptr<bool> alive)
-      : alive_(std::move(alive)) {}
+  TimerHandle(Engine* engine, std::shared_ptr<bool> alive)
+      : engine_(engine), alive_(std::move(alive)) {}
+  Engine* engine_ = nullptr;
   std::shared_ptr<bool> alive_;
   friend class Engine;
 };
@@ -79,6 +81,12 @@ class Engine {
     return failures_;
   }
 
+  // Events currently queued, including cancelled ones not yet reclaimed.
+  // Exposed so tests can assert that cancellation does not accumulate
+  // garbage across a long run.
+  [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+  [[nodiscard]] std::size_t cancelled_pending() const { return cancelled_; }
+
   // Awaitable: suspend the calling coroutine for `d` of simulated time.
   // d == 0 still yields through the event queue (a fairness point).
   [[nodiscard]] auto sleep(Duration d) {
@@ -105,6 +113,7 @@ class Engine {
     Time at;
     std::uint64_t seq;
     std::function<void()> fn;
+    std::shared_ptr<bool> alive;  // null for non-cancellable events
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -112,6 +121,17 @@ class Engine {
       return a.seq > b.seq;
     }
   };
+
+  void push_event(Event ev);
+  Event pop_event();
+  // Drops cancelled events sitting at the head of the queue; afterwards
+  // the head (if any) is live.  Returns false when the queue drained.
+  bool prune_head();
+  // Called by TimerHandle::cancel; rebuilds the heap without the dead
+  // events once they outnumber the live ones.
+  void note_cancelled();
+  void compact();
+  friend class TimerHandle;
 
   // Root driver for spawned processes.  Detached: the frame lives until
   // the body finishes (then unregisters itself) or the engine is
@@ -124,7 +144,10 @@ class Engine {
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Binary heap managed with std::push_heap/pop_heap so compact() can
+  // filter the underlying vector (std::priority_queue hides it).
+  std::vector<Event> queue_;
+  std::size_t cancelled_ = 0;
   bool stop_requested_ = false;
 
   std::size_t live_ = 0;
@@ -133,6 +156,13 @@ class Engine {
   std::vector<std::string> failures_;
   std::ostream* trace_os_ = nullptr;
 };
+
+inline void TimerHandle::cancel() {
+  if (alive_ && *alive_) {
+    *alive_ = false;
+    if (engine_ != nullptr) engine_->note_cancelled();
+  }
+}
 
 struct Engine::Root::promise_type {
   Engine* engine = nullptr;

@@ -10,7 +10,18 @@ Network::Network(sim::Engine& engine, std::size_t nodes, sim::Rng rng,
                  net::CsmaBusParams bus_params, Costs costs)
     : engine_(&engine),
       costs_(costs),
-      bus_(std::make_unique<net::CsmaBus>(engine, rng, bus_params)) {
+      bus_(std::make_unique<net::CsmaBus>(engine, rng, bus_params)),
+      medium_(bus_.get()) {
+  kernels_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    kernels_.push_back(std::make_unique<Kernel>(
+        *this, net::NodeId(static_cast<std::uint32_t>(i))));
+  }
+}
+
+Network::Network(sim::Engine& engine, std::size_t nodes, net::Medium& medium,
+                 Costs costs)
+    : engine_(&engine), costs_(costs), medium_(&medium) {
   kernels_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
     kernels_.push_back(std::make_unique<Kernel>(
@@ -60,12 +71,17 @@ std::uint64_t Network::total_frames() const {
 
 Kernel::Kernel(Network& network, net::NodeId node)
     : network_(&network), node_(node) {
-  network_->bus().attach(node_, [this](const net::Frame& f) { on_frame(f); });
+  network_->medium().attach(node_,
+                            [this](const net::Frame& f) { on_frame(f); });
 }
 
 void Kernel::transmit(net::NodeId dst, WireFrame frame, std::size_t bytes) {
   ++frames_out_;
-  network_->bus().send(net::Frame{node_, dst, bytes, std::move(frame)});
+  network_->medium().send(net::Frame{node_, dst, bytes, std::move(frame)});
+}
+
+bool Kernel::acks_enabled() const {
+  return network_->costs().ack_timeout > 0;
 }
 
 void Kernel::on_frame(const net::Frame& frame) {
@@ -109,6 +125,7 @@ void Kernel::terminate_process(Pid pid) {
   for (ReqId id : mine) {
     per_pair_[pair_key(outstanding_[id].from, outstanding_[id].target)]--;
     outstanding_.erase(id);
+    drop_transport(id);
   }
   advertised_.erase(pid);
   handler_open_.erase(pid);
@@ -159,7 +176,7 @@ sim::Task<std::optional<Pid>> Kernel::discover(Pid caller, Name name) {
 
   // Unreliable broadcast query; replies race the timeout.
   ++frames_out_;
-  network_->bus().broadcast(
+  network_->medium().broadcast(
       net::Frame{node_, net::NodeId::invalid(), 16,
                  WireFrame(DiscoverQuery{qid, name, node_})});
   network_->engine().schedule(network_->costs().discover_timeout,
@@ -178,12 +195,14 @@ sim::Task<std::optional<Pid>> Kernel::discover(Pid caller, Name name) {
 
 // ===================== request =====================
 
-void Kernel::send_request_frags(const Outstanding& out) {
+void Kernel::send_request_frags(const Outstanding& out,
+                                const std::vector<bool>* skip) {
   const std::size_t mtu = network_->costs().mtu_bytes;
   const std::size_t len = out.data.size();
   const auto frag_count = static_cast<std::uint32_t>(
       len == 0 ? 1 : (len + mtu - 1) / mtu);
   for (std::uint32_t i = 0; i < frag_count; ++i) {
+    if (skip != nullptr && i < skip->size() && (*skip)[i]) continue;
     const std::size_t lo = static_cast<std::size_t>(i) * mtu;
     const std::size_t hi = std::min(len, lo + mtu);
     ReqFrag frag{out.id,  out.from,       out.target,
@@ -192,6 +211,130 @@ void Kernel::send_request_frags(const Outstanding& out) {
                  Payload(out.data.begin() + static_cast<std::ptrdiff_t>(lo),
                          out.data.begin() + static_cast<std::ptrdiff_t>(hi))};
     transmit(out.target_node, std::move(frag), 24 + (hi - lo));
+  }
+}
+
+void Kernel::send_accept_frags(const PendingAccept& pa,
+                               const std::vector<bool>* skip) {
+  const std::size_t mtu = network_->costs().mtu_bytes;
+  const std::size_t give = pa.reply.size();
+  const auto frag_count = static_cast<std::uint32_t>(
+      give == 0 ? 1 : (give + mtu - 1) / mtu);
+  for (std::uint32_t i = 0; i < frag_count; ++i) {
+    if (skip != nullptr && i < skip->size() && (*skip)[i]) continue;
+    const std::size_t lo = static_cast<std::size_t>(i) * mtu;
+    const std::size_t hi = std::min(give, lo + mtu);
+    AcceptFrag frag{pa.req, pa.oob, pa.delivered, pa.reply_total, i,
+                    frag_count,
+                    Payload(pa.reply.begin() + static_cast<std::ptrdiff_t>(lo),
+                            pa.reply.begin() + static_cast<std::ptrdiff_t>(hi))};
+    transmit(pa.dst, std::move(frag), 24 + (hi - lo));
+  }
+}
+
+// ---- transport-level retransmission (Costs::ack_timeout > 0) ----------
+
+void Kernel::drop_transport(ReqId req) {
+  auto it = transport_.find(req);
+  if (it == transport_.end()) return;
+  it->second.timer.cancel();
+  transport_.erase(it);
+}
+
+void Kernel::note_done(ReqId req) {
+  if (!done_set_.insert(req).second) return;
+  done_fifo_.push_back(req);
+  if (done_fifo_.size() > 64) {
+    done_set_.erase(done_fifo_.front());
+    done_fifo_.pop_front();
+  }
+}
+
+void Kernel::arm_transport_timer(ReqId req) {
+  auto it = transport_.find(req);
+  if (it == transport_.end()) return;
+  it->second.timer = network_->engine().schedule_cancellable(
+      network_->costs().ack_timeout,
+      [this, req] { on_transport_timeout(req); });
+}
+
+void Kernel::on_transport_timeout(ReqId req) {
+  auto tt = transport_.find(req);
+  if (tt == transport_.end()) return;
+  auto it = outstanding_.find(req);
+  if (it == outstanding_.end()) {  // resolved while the timer was armed
+    transport_.erase(tt);
+    return;
+  }
+  TransportSend& ts = tt->second;
+  const bool all_acked =
+      std::all_of(ts.acked.begin(), ts.acked.end(), [](bool b) { return b; });
+  if (all_acked) {
+    // The wire leg is done; the rendezvous itself may take arbitrarily
+    // long (accept is the target's business) — stop watching.
+    transport_.erase(tt);
+    return;
+  }
+  if (ts.attempts >= network_->costs().max_transport_attempts) {
+    // Nothing but silence: the hint was stale, the path is cut, or the
+    // target is gone.  SODA can only ever conclude this by timeout.
+    Outstanding& out = it->second;
+    CrashInterrupt intr{out.id, out.target};
+    const Pid from_pid = out.from;
+    per_pair_[pair_key(out.from, out.target)]--;
+    outstanding_.erase(it);
+    transport_.erase(tt);
+    raise(from_pid, intr);
+    return;
+  }
+  ++ts.attempts;
+  ++retries_;
+  send_request_frags(it->second, &ts.acked);
+  arm_transport_timer(req);
+}
+
+void Kernel::arm_accept_timer(ReqId req) {
+  auto it = pending_accepts_.find(req);
+  if (it == pending_accepts_.end()) return;
+  it->second.timer = network_->engine().schedule_cancellable(
+      network_->costs().ack_timeout, [this, req] { on_accept_timeout(req); });
+}
+
+void Kernel::on_accept_timeout(ReqId req) {
+  auto it = pending_accepts_.find(req);
+  if (it == pending_accepts_.end()) return;
+  PendingAccept& pa = it->second;
+  if (pa.attempts >= network_->costs().max_transport_attempts) {
+    // We accepted but cannot reach the requester.  Best effort: tell it
+    // the rendezvous failed (the note itself may be lost; the requester
+    // side then never learns, which is exactly SODA's failure mode).
+    transmit(pa.dst, CrashNote{pa.req, Pid::invalid()}, 16);
+    pending_accepts_.erase(it);
+    return;
+  }
+  ++pa.attempts;
+  ++retries_;
+  send_accept_frags(pa, &pa.acked);
+  arm_accept_timer(req);
+}
+
+void Kernel::handle(const ReqAck& f, net::NodeId /*from*/) {
+  auto it = transport_.find(f.req);
+  if (it == transport_.end()) return;
+  if (f.frag_index < it->second.acked.size()) {
+    it->second.acked[f.frag_index] = true;
+  }
+}
+
+void Kernel::handle(const AcceptAck& f, net::NodeId /*from*/) {
+  auto it = pending_accepts_.find(f.req);
+  if (it == pending_accepts_.end()) return;
+  PendingAccept& pa = it->second;
+  if (f.frag_index < pa.acked.size()) pa.acked[f.frag_index] = true;
+  if (std::all_of(pa.acked.begin(), pa.acked.end(),
+                  [](bool b) { return b; })) {
+    pa.timer.cancel();
+    pending_accepts_.erase(it);
   }
 }
 
@@ -221,7 +364,13 @@ sim::Task<Result<ReqId>> Kernel::request(Pid caller, Pid target, Name name,
   Outstanding out{id,   caller, target, network_->node_of(target),
                   name, oob,    std::move(send_data), recv_limit, 0};
   send_request_frags(out);
+  const auto frag_count = static_cast<std::size_t>(frags);
   outstanding_.emplace(id, std::move(out));
+  if (acks_enabled()) {
+    transport_.emplace(id,
+                       TransportSend{1, std::vector<bool>(frag_count), {}});
+    arm_transport_timer(id);
+  }
   co_return id;
 }
 
@@ -271,13 +420,20 @@ sim::Task<Result<Payload>> Kernel::accept(Pid caller, ReqId request, Oob oob,
       costs.per_byte_copy * static_cast<sim::Duration>(take + give) +
       costs.frame_processing * frag_count);
 
-  for (std::uint32_t i = 0; i < frag_count; ++i) {
-    const std::size_t lo = static_cast<std::size_t>(i) * mtu;
-    const std::size_t hi = std::min(give, lo + mtu);
-    AcceptFrag frag{request, oob,  take, give, i, frag_count,
-                    Payload(reply_data.begin() + static_cast<std::ptrdiff_t>(lo),
-                            reply_data.begin() + static_cast<std::ptrdiff_t>(hi))};
-    transmit(parked.from_node, std::move(frag), 24 + (hi - lo));
+  PendingAccept pa{request,
+                   parked.from_node,
+                   oob,
+                   take,
+                   give,
+                   std::move(reply_data),
+                   std::vector<bool>(frag_count),
+                   1,
+                   {}};
+  send_accept_frags(pa);
+  note_done(request);
+  if (acks_enabled()) {
+    pending_accepts_.emplace(request, std::move(pa));
+    arm_accept_timer(request);
   }
   co_return taken;
 }
@@ -285,34 +441,75 @@ sim::Task<Result<Payload>> Kernel::accept(Pid caller, ReqId request, Oob oob,
 // ===================== frame handlers =====================
 
 void Kernel::handle(const ReqFrag& f, net::NodeId from) {
-  // Reassemble (single-frag fast path skips the buffer).
-  Payload data;
+  // Whole-request duplicates: already parked here, or already accepted
+  // (a retransmission raced the accept).  Re-ack — the first ack may
+  // have been lost — but don't park twice.
+  if (parked_.contains(f.req) || done_set_.contains(f.req)) {
+    if (acks_enabled()) transmit(from, ReqAck{f.req, f.frag_index}, 8);
+    return;
+  }
+
+  // Reassemble (single-frag fast path skips the buffer).  Mid-reassembly
+  // fragments carry no verdict and are safe to ack immediately; the
+  // COMPLETING fragment is only acked once the request is accepted for
+  // parking.  If it were acked before a NACK and the NACK frame then
+  // lost, the requester's transport tracker would retire with nothing
+  // left to retransmit — a lost NACK must leave an unacked fragment
+  // behind so retransmission re-elicits the verdict.
   if (f.frag_count > 1) {
     Reassembly& r = req_reassembly_[f.req];
     if (r.data.empty()) r.data.resize(f.send_total);
+    if (r.have.empty()) r.have.resize(f.frag_count, false);
+    if (f.frag_index >= r.have.size()) return;
+    if (r.have[f.frag_index]) {
+      if (acks_enabled()) transmit(from, ReqAck{f.req, f.frag_index}, 8);
+      return;
+    }
+    r.have[f.frag_index] = true;
     const std::size_t lo = static_cast<std::size_t>(f.frag_index) *
                            network_->costs().mtu_bytes;
     std::copy(f.data.begin(), f.data.end(),
               r.data.begin() + static_cast<std::ptrdiff_t>(lo));
-    if (++r.seen < f.frag_count) return;
-    data = std::move(r.data);
-    req_reassembly_.erase(f.req);
-  } else {
-    data = f.data;
+    if (++r.seen < f.frag_count) {
+      if (acks_enabled()) transmit(from, ReqAck{f.req, f.frag_index}, 8);
+      return;
+    }
   }
 
+  // The request is whole: evaluate it.  On a NACK, un-see the completing
+  // fragment (keeping the rest of the buffer) so a retransmission of
+  // just that fragment re-runs this verdict.
+  const auto nack = [&](NackReason reason) {
+    if (f.frag_count > 1) {
+      auto it = req_reassembly_.find(f.req);
+      if (it != req_reassembly_.end()) {
+        it->second.have[f.frag_index] = false;
+        --it->second.seen;
+      }
+    }
+    transmit(from, ReqNack{f.req, reason}, 12);
+  };
   if (!processes_.contains(f.target)) {
-    transmit(from, ReqNack{f.req, NackReason::kDead}, 12);
+    nack(NackReason::kDead);
     return;
   }
   auto adv = advertised_.find(f.target);
   if (adv == advertised_.end() || !adv->second.contains(f.name)) {
-    transmit(from, ReqNack{f.req, NackReason::kNoName}, 12);
+    nack(NackReason::kNoName);
     return;
   }
   if (!handler_open_[f.target]) {
-    transmit(from, ReqNack{f.req, NackReason::kClosed}, 12);
+    nack(NackReason::kClosed);
     return;
+  }
+
+  if (acks_enabled()) transmit(from, ReqAck{f.req, f.frag_index}, 8);
+  Payload data;
+  if (f.frag_count > 1) {
+    data = std::move(req_reassembly_[f.req].data);
+    req_reassembly_.erase(f.req);
+  } else {
+    data = f.data;
   }
   park_and_interrupt(ParkedRequest{f.req, f.from, from, f.target, f.name,
                                    f.oob, std::move(data), f.send_total,
@@ -329,6 +526,7 @@ void Kernel::handle(const ReqNack& f, net::NodeId /*from*/) {
       const Pid from_pid = out.from;
       per_pair_[pair_key(out.from, out.target)]--;
       outstanding_.erase(it);
+      drop_transport(f.req);
       raise(from_pid, intr);
       return;
     }
@@ -339,6 +537,7 @@ void Kernel::handle(const ReqNack& f, net::NodeId /*from*/) {
         const Pid from_pid = out.from;
         per_pair_[pair_key(out.from, out.target)]--;
         outstanding_.erase(it);
+        drop_transport(f.req);
         raise(from_pid, intr);
         return;
       }
@@ -348,7 +547,10 @@ void Kernel::handle(const ReqNack& f, net::NodeId /*from*/) {
   }
 }
 
-void Kernel::handle(const AcceptFrag& f, net::NodeId /*from*/) {
+void Kernel::handle(const AcceptFrag& f, net::NodeId from) {
+  // Ack even when the request is already resolved here: the accepter
+  // may be retransmitting because *its* acks were lost.
+  if (acks_enabled()) transmit(from, AcceptAck{f.req, f.frag_index}, 8);
   auto it = outstanding_.find(f.req);
   if (it == outstanding_.end()) return;
 
@@ -356,6 +558,9 @@ void Kernel::handle(const AcceptFrag& f, net::NodeId /*from*/) {
   if (f.frag_count > 1) {
     Reassembly& r = accept_reassembly_[f.req];
     if (r.data.empty()) r.data.resize(f.reply_total);
+    if (r.have.empty()) r.have.resize(f.frag_count, false);
+    if (f.frag_index >= r.have.size() || r.have[f.frag_index]) return;
+    r.have[f.frag_index] = true;
     const std::size_t lo = static_cast<std::size_t>(f.frag_index) *
                            network_->costs().mtu_bytes;
     std::copy(f.data.begin(), f.data.end(),
@@ -373,6 +578,7 @@ void Kernel::handle(const AcceptFrag& f, net::NodeId /*from*/) {
   const Pid from_pid = out.from;
   per_pair_[pair_key(out.from, out.target)]--;
   outstanding_.erase(it);
+  drop_transport(f.req);
   raise(from_pid, intr);
 }
 
@@ -383,6 +589,7 @@ void Kernel::handle(const CrashNote& f, net::NodeId /*from*/) {
   const Pid from_pid = it->second.from;
   per_pair_[pair_key(it->second.from, it->second.target)]--;
   outstanding_.erase(it);
+  drop_transport(f.req);
   raise(from_pid, intr);
 }
 

@@ -112,6 +112,25 @@ class Kernel {
     std::uint32_t expected = 0;
     std::uint32_t seen = 0;
     Payload data;
+    // Which fragment indices arrived; lets duplicated fragments (ack
+    // lost, retransmission raced the original) be counted once.
+    std::vector<bool> have;
+  };
+  struct TransportSend {  // requester side, one per unresolved request
+    int attempts = 1;
+    std::vector<bool> acked;  // per request fragment
+    sim::TimerHandle timer;
+  };
+  struct PendingAccept {  // accepter side, until AcceptAcks arrive
+    ReqId req;
+    net::NodeId dst;
+    Oob oob{};
+    std::size_t delivered = 0;
+    std::size_t reply_total = 0;
+    Payload reply;
+    std::vector<bool> acked;  // per accept fragment
+    int attempts = 1;
+    sim::TimerHandle timer;
   };
   struct DiscoverWait {
     // Non-owning: the OneShot lives in the discover() coroutine frame,
@@ -152,6 +171,15 @@ class Kernel {
     ReqId req;
     Pid target;
   };
+  // Transport acks (only exchanged when Costs::ack_timeout > 0).
+  struct ReqAck {
+    ReqId req;
+    std::uint32_t frag_index = 0;
+  };
+  struct AcceptAck {
+    ReqId req;
+    std::uint32_t frag_index = 0;
+  };
   struct DiscoverQuery {
     std::uint64_t qid;
     Name name;
@@ -163,7 +191,8 @@ class Kernel {
     Pid pid;
   };
   using WireFrame = std::variant<ReqFrag, ReqNack, AcceptFrag, CrashNote,
-                                 DiscoverQuery, DiscoverReply>;
+                                 DiscoverQuery, DiscoverReply, ReqAck,
+                                 AcceptAck>;
 
   void on_frame(const net::Frame& frame);
   void handle(const ReqFrag& f, net::NodeId from);
@@ -172,10 +201,23 @@ class Kernel {
   void handle(const CrashNote& f, net::NodeId from);
   void handle(const DiscoverQuery& f, net::NodeId from);
   void handle(const DiscoverReply& f, net::NodeId from);
+  void handle(const ReqAck& f, net::NodeId from);
+  void handle(const AcceptAck& f, net::NodeId from);
 
   void transmit(net::NodeId dst, WireFrame frame, std::size_t bytes);
-  void send_request_frags(const Outstanding& out);
+  // skip[i] == true suppresses fragment i (already acknowledged).
+  void send_request_frags(const Outstanding& out,
+                          const std::vector<bool>* skip = nullptr);
+  void send_accept_frags(const PendingAccept& pa,
+                         const std::vector<bool>* skip = nullptr);
   void schedule_retry(ReqId req);
+  [[nodiscard]] bool acks_enabled() const;
+  void arm_transport_timer(ReqId req);
+  void on_transport_timeout(ReqId req);
+  void arm_accept_timer(ReqId req);
+  void on_accept_timeout(ReqId req);
+  void drop_transport(ReqId req);  // cancels the retransmit timer
+  void note_done(ReqId req);       // remember accepted reqs for re-acking
   void raise(Pid pid, Interrupt intr);
   void park_and_interrupt(ParkedRequest parked);
   [[nodiscard]] std::uint64_t pair_key(Pid a, Pid b) const {
@@ -196,6 +238,12 @@ class Kernel {
   std::unordered_map<ReqId, Outstanding> outstanding_;
   std::unordered_map<ReqId, Reassembly> accept_reassembly_;
   std::unordered_map<ReqId, AcceptFrag> accept_header_;
+  std::unordered_map<ReqId, TransportSend> transport_;
+  std::unordered_map<ReqId, PendingAccept> pending_accepts_;
+  // Requests already accepted here; duplicated ReqFrags for them are
+  // re-acked and dropped instead of being parked twice.
+  std::deque<ReqId> done_fifo_;
+  std::unordered_set<ReqId> done_set_;
   std::unordered_map<std::uint64_t, int> per_pair_;
   std::unordered_map<std::uint64_t, DiscoverWait> discovers_;
   std::uint64_t next_qid_ = 1;
@@ -208,13 +256,22 @@ class Network {
  public:
   Network(sim::Engine& engine, std::size_t nodes, sim::Rng rng,
           net::CsmaBusParams bus_params = {}, Costs costs = {});
+  // Runs the network over an externally-owned medium (typically a
+  // fault::FaultyMedium wrapping a CsmaBus).  The medium must outlive
+  // the network; bus() is unavailable in this mode.
+  Network(sim::Engine& engine, std::size_t nodes, net::Medium& medium,
+          Costs costs = {});
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
   ~Network();
 
   [[nodiscard]] sim::Engine& engine() { return *engine_; }
   [[nodiscard]] const Costs& costs() const { return costs_; }
-  [[nodiscard]] net::CsmaBus& bus() { return *bus_; }
+  [[nodiscard]] net::CsmaBus& bus() {
+    RELYNX_ASSERT_MSG(bus_ != nullptr, "network runs on an external medium");
+    return *bus_;
+  }
+  [[nodiscard]] net::Medium& medium() { return *medium_; }
   [[nodiscard]] std::size_t node_count() const { return kernels_.size(); }
 
   [[nodiscard]] Kernel& kernel(net::NodeId node);
@@ -236,7 +293,8 @@ class Network {
 
   sim::Engine* engine_;
   Costs costs_;
-  std::unique_ptr<net::CsmaBus> bus_;
+  std::unique_ptr<net::CsmaBus> bus_;  // null when medium is external
+  net::Medium* medium_;                // the wire all kernels use
   std::vector<std::unique_ptr<Kernel>> kernels_;
   std::unordered_map<Pid, net::NodeId> process_node_;
   std::unordered_set<Pid> dead_;

@@ -126,6 +126,16 @@ struct Costs {
   int max_request_attempts = 8;  // then RejectInterrupt
   std::size_t mtu_bytes = 256;   // fragmentation threshold
   int max_outstanding_per_pair = 8;
+  // Transport-level per-fragment acknowledgement + retransmission, for
+  // running over an impaired medium.  0 disables both directions (the
+  // seed behaviour: unicast bus frames are reliable, so SODA's only
+  // retries are the NACK-driven ones above).  When enabled, unacked
+  // fragments are retransmitted every ack_timeout; after
+  // max_transport_attempts of silence the kernel gives up and raises a
+  // CrashInterrupt — SODA's *eventual* timeout, the counterpoint to
+  // Charlotte's prompt absolute notice (§2, §4.1).
+  sim::Duration ack_timeout = sim::Duration(0);
+  int max_transport_attempts = 6;
 };
 
 }  // namespace soda

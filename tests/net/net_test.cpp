@@ -1,8 +1,12 @@
 // Unit tests for the three medium models.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "fault/faulty_medium.hpp"
 
 #include "net/butterfly_switch.hpp"
 #include "net/csma_bus.hpp"
@@ -61,6 +65,38 @@ TEST(LoopbackTest, BroadcastSkipsSender) {
   e.run();
   EXPECT_EQ(c.deliveries.size(), 2u);
   for (const auto& d : c.deliveries) EXPECT_NE(d.at, NodeId(0));
+}
+
+
+TEST(LoopbackTest, ZeroLossFixedLatencyContract) {
+  // Loopback's contract: every frame arrives, exactly once, exactly
+  // `latency` after send, in send order — the baseline the fault layer
+  // must preserve when wrapping with an empty plan.
+  auto run = [](bool wrapped) {
+    sim::Engine e;
+    Loopback lo(e, sim::usec(40));
+    fault::FaultyMedium fm(e, lo, 123);
+    Medium& m = wrapped ? static_cast<Medium&>(fm) : lo;
+    Collector c(e, m, {NodeId(0), NodeId(1)});
+    for (int i = 0; i < 25; ++i) {
+      e.schedule(sim::usec(10) * i, [&m, i] {
+        m.send(make_frame(NodeId(0), NodeId(1), 10, std::to_string(i)));
+      });
+    }
+    e.run();
+    return c.deliveries;
+  };
+  auto bare = run(false);
+  auto thru = run(true);
+  ASSERT_EQ(bare.size(), 25u);
+  ASSERT_EQ(thru.size(), 25u);
+  for (std::size_t i = 0; i < bare.size(); ++i) {
+    EXPECT_EQ(bare[i].tag, std::to_string(i));
+    EXPECT_EQ(bare[i].when, sim::usec(10) * static_cast<std::int64_t>(i) +
+                                sim::usec(40));
+    EXPECT_EQ(thru[i].when, bare[i].when);
+    EXPECT_EQ(thru[i].tag, bare[i].tag);
+  }
 }
 
 TEST(TokenRingTest, ServiceTimeScalesWithPayload) {
@@ -150,6 +186,52 @@ TEST(CsmaBusTest, UnicastIsReliableByDefault) {
   EXPECT_EQ(bus.drops(), 0u);
 }
 
+
+TEST(CsmaBusTest, DropObserverSeesEachLostFrame) {
+  sim::Engine e;
+  CsmaBusParams p;
+  p.broadcast_drop_prob = 0.5;
+  CsmaBus bus(e, sim::Rng(3), p);
+  std::vector<NodeId> nodes;
+  for (std::uint32_t i = 0; i < 21; ++i) nodes.push_back(NodeId(i));
+  Collector c(e, bus, nodes);
+  std::uint64_t observed = 0;
+  std::uint64_t observed_at_node1 = 0;
+  bus.set_drop_observer([&](const Frame& f, NodeId receiver) {
+    ++observed;
+    if (receiver == NodeId(1)) ++observed_at_node1;
+    EXPECT_NE(f.id, 0u);  // dropped frames are already stamped
+  });
+  for (int i = 0; i < 10; ++i) {
+    bus.broadcast(make_frame(NodeId(0), NodeId::invalid(), 10, "b"));
+  }
+  e.run();
+  EXPECT_GT(observed, 0u);
+  EXPECT_EQ(observed, bus.drops());
+  EXPECT_EQ(observed_at_node1, bus.drops_at(NodeId(1)));
+  // Per-node counters partition the total.
+  std::uint64_t sum = 0;
+  for (NodeId n : nodes) sum += bus.drops_at(n);
+  EXPECT_EQ(sum, bus.drops());
+  EXPECT_EQ(bus.drops_at(NodeId(999)), 0u);  // never attached, never counted
+}
+
+TEST(CsmaBusTest, FramesAreStampedWithUniqueIds) {
+  sim::Engine e;
+  CsmaBus bus(e, sim::Rng(5));
+  std::vector<std::uint64_t> ids;
+  bus.attach(NodeId(0), [](const Frame&) {});
+  bus.attach(NodeId(1), [&](const Frame& f) { ids.push_back(f.id); });
+  for (int i = 0; i < 20; ++i) {
+    bus.send(make_frame(NodeId(0), NodeId(1), 10, "x"));
+  }
+  e.run();
+  ASSERT_EQ(ids.size(), 20u);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+  EXPECT_NE(ids.front(), 0u);
+}
+
 TEST(ButterflyTest, StagesGrowWithNodes) {
   EXPECT_EQ(ButterflyFabric({.nodes = 1}).stages(), 0u);
   EXPECT_EQ(ButterflyFabric({.nodes = 4}).stages(), 1u);
@@ -169,6 +251,23 @@ TEST(ButterflyTest, BlockTransferScalesPerByte) {
   const auto d100 = fab.block_transfer(100, true);
   const auto d200 = fab.block_transfer(200, true);
   EXPECT_EQ(d200 - d100, 100 * ButterflyParams{}.per_byte_block);
+}
+
+
+TEST(ButterflyTest, ContendedRemoteTransferPaysPerContender) {
+  // Switch contention (the paper's ~4% degradation source, Â§3.2): each
+  // simultaneous contender adds one full hop traversal per stage.
+  ButterflyFabric fab({.nodes = 64});
+  const auto clean = fab.block_transfer(100, true);
+  const auto c1 = fab.block_transfer(100, true, 1);
+  const auto c4 = fab.block_transfer(100, true, 4);
+  EXPECT_EQ(clean, fab.block_transfer(100, true, 0));
+  const auto per = ButterflyParams{}.hop_latency *
+                   static_cast<sim::Duration>(fab.stages());
+  EXPECT_EQ(c1 - clean, per);
+  EXPECT_EQ(c4 - clean, 4 * per);
+  // Local transfers never cross the switch, so contention is free.
+  EXPECT_EQ(fab.block_transfer(100, false, 8), fab.block_transfer(100, false));
 }
 
 }  // namespace

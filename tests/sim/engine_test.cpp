@@ -208,5 +208,42 @@ TEST(EngineCoroTest, RunsAreDeterministic) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+// Regression: a cancelled timer must not sit in the queue as a dead
+// std::function until its fire time.  Cancellation is reported to the
+// engine, prunable heads are dropped eagerly, and once enough garbage
+// accumulates the queue is compacted — so cancelling N timers cannot
+// leave N corpses behind.
+TEST(EngineTest, CancelledTimersAreReclaimed) {
+  Engine e;
+  // A far-future event keeps the run loop alive past all cancellations.
+  e.schedule(sec(10), [] {});
+  std::vector<TimerHandle> timers;
+  timers.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    timers.push_back(e.schedule_cancellable(sec(1) + usec(i), [] {}));
+  }
+  EXPECT_EQ(e.queue_size(), 1001u);
+  for (auto& t : timers) t.cancel();
+  // Compaction triggers while cancelling; whatever garbage remains is
+  // far below the 1000 corpses the old behaviour would have kept.
+  EXPECT_LT(e.queue_size(), 200u);
+  EXPECT_EQ(e.cancelled_pending(), e.queue_size() - 1);
+  e.run();
+  EXPECT_EQ(e.queue_size(), 0u);
+  EXPECT_EQ(e.cancelled_pending(), 0u);
+}
+
+TEST(EngineTest, CancelAfterFireIsHarmless) {
+  Engine e;
+  int fired = 0;
+  TimerHandle t = e.schedule_cancellable(usec(1), [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.pending());
+  t.cancel();  // no-op; must not corrupt the (empty) queue
+  EXPECT_EQ(e.queue_size(), 0u);
+}
+
+
 }  // namespace
 }  // namespace sim
