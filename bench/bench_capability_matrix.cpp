@@ -171,6 +171,7 @@ BENCHMARK(BM_CapabilityScenario4Soda)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init(&argc, argv, "capability_matrix");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

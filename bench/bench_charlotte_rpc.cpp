@@ -83,6 +83,11 @@ void report() {
   print_note("payload adds single-digit ms at 10 Mb/s.");
   std::printf("  run-time overhead, null op: paper %.1f ms, measured %.2f ms\n",
               57.0 - 55.0, lynx0 - raw0);
+
+  // The same table, decomposed: where does a 1000-byte round trip spend
+  // its time?  Derived from the trace spans of one recorded run.
+  CharlotteWorld tw;
+  traced_phase_report(tw, "E3 Charlotte RPC (1000 B both ways)", 1000);
 }
 
 void BM_LynxCharlotteNullRpc(benchmark::State& state) {
@@ -102,6 +107,7 @@ BENCHMARK(BM_RawCharlotteNullRpc)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init(&argc, argv, "charlotte_rpc");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

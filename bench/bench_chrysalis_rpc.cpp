@@ -42,6 +42,9 @@ void report() {
   });
   print_note("shape checks: ~2.4/4.6 ms band; order-of-magnitude faster");
   print_note("than Charlotte; tuning knob moves both figures 30-40%.");
+
+  ChrysalisWorld tw;
+  traced_phase_report(tw, "E7 Chrysalis RPC (1000 B both ways)", 1000);
 }
 
 void BM_LynxChrysalisNullRpc(benchmark::State& state) {
@@ -61,6 +64,7 @@ BENCHMARK(BM_LynxChrysalisKilobyteRpc)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init(&argc, argv, "chrysalis_rpc");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -13,9 +13,9 @@
 // three measurements (see metrics/complexity.hpp): protocol shape,
 // backend source size measured from this repository, and the size of
 // the screening/packetization special-case code.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
+
+#include "harness.hpp"
 
 #include "common/assert.hpp"
 #include "metrics/complexity.hpp"
@@ -78,6 +78,7 @@ BENCHMARK(BM_MeasureComplexity);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init(&argc, argv, "code_metrics");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -121,6 +121,7 @@ BENCHMARK(BM_CharlotteMoveFourLinks)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init(&argc, argv, "enclosure_protocol");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -205,6 +205,7 @@ BENCHMARK(BM_DormantChainTwoHops)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init(&argc, argv, "soda_hints");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -54,6 +54,9 @@ void report() {
   print_note("shape checks: SODA ~3x faster near 0 B; Charlotte wins for");
   print_note("large payloads because SODA's 1 Mb/s bus dominates; the");
   print_note("crossover falls inside the paper's 1K-2K band.");
+
+  SodaWorld tw;
+  traced_phase_report(tw, "E5 SODA RPC (null op)", 0, 6);
 }
 
 void BM_SodaNullRpc(benchmark::State& state) {
@@ -66,6 +69,7 @@ BENCHMARK(BM_SodaNullRpc)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init(&argc, argv, "soda_vs_charlotte");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

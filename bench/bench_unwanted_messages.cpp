@@ -150,6 +150,7 @@ BENCHMARK(BM_AdversarialRoundCharlotte)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::init(&argc, argv, "unwanted_messages");
   report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

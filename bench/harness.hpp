@@ -19,8 +19,64 @@
 #include "sim/engine.hpp"
 #include "sim/stats.hpp"
 #include "sweep/sweep.hpp"
+#include "trace/perfetto.hpp"
+#include "trace/phases.hpp"
+#include "trace/trace.hpp"
 
 namespace bench {
+
+// ---- unified entry ---------------------------------------------------------
+//
+// Every bench main starts with
+//     bench::init(&argc, argv, "<bench-name>");
+// which strips the harness's own flags before google-benchmark sees the
+// rest:
+//     --json-out=FILE    append every JSON-lines record to FILE as well
+//                        as stdout
+//     --trace-out=FILE   benches that support causal tracing write a
+//                        Chrome-trace/Perfetto JSON of one traced run
+//                        (ignored by benches that don't)
+
+inline std::FILE*& json_file() {
+  static std::FILE* f = nullptr;
+  return f;
+}
+inline std::string& bench_name() {
+  static std::string name;
+  return name;
+}
+inline std::string& trace_out_path() {
+  static std::string path;
+  return path;
+}
+
+inline void init(int* argc, char** argv, const char* name) {
+  bench_name() = name;
+  int kept = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string json_flag = "--json-out=";
+    const std::string trace_flag = "--trace-out=";
+    if (arg.rfind(json_flag, 0) == 0) {
+      const std::string path = arg.substr(json_flag.size());
+      json_file() = std::fopen(path.c_str(), "w");
+      if (json_file() == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      }
+    } else if (arg.rfind(trace_flag, 0) == 0) {
+      trace_out_path() = arg.substr(trace_flag.size());
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  *argc = kept;
+  std::atexit([] {
+    if (json_file() != nullptr) {
+      std::fclose(json_file());
+      json_file() = nullptr;
+    }
+  });
+}
 
 // ---- worlds: one client/server pair per substrate -------------------------
 
@@ -199,37 +255,12 @@ double lynx_rpc_ms(World& w, std::size_t bytes, int reps = 10) {
   return sim::to_msec(t1 - t0) / reps;
 }
 
-// ---- table printing ----------------------------------------------------------
-
-inline void table_header(const std::string& title) {
-  std::printf("\n=== %s ===\n", title.c_str());
-}
-
-struct Row {
-  std::string label;
-  double paper;
-  double measured;
-  std::string unit;
-};
-
-inline void print_rows(const std::vector<Row>& rows) {
-  std::printf("%-44s %12s %12s  %s\n", "quantity", "paper", "measured",
-              "unit");
-  for (const Row& r : rows) {
-    std::printf("%-44s %12.2f %12.2f  %s\n", r.label.c_str(), r.paper,
-                r.measured, r.unit.c_str());
-  }
-}
-
-inline void print_note(const std::string& s) {
-  std::printf("  %s\n", s.c_str());
-}
-
 // ---- machine-readable output ----------------------------------------------
 
 // One JSON object per line ("JSON lines"): benches emit a record per
 // measured configuration so curves can be re-plotted without parsing
-// the human tables.
+// the human tables.  Records go to stdout and, under --json-out=FILE,
+// to that file too.
 class JsonLine {
  public:
   JsonLine& field(const std::string& key, const std::string& value) {
@@ -252,7 +283,12 @@ class JsonLine {
     buf_ += '"' + key + "\":" + std::to_string(value);
     return *this;
   }
-  void emit() { std::printf("%s}\n", buf_.c_str()); }
+  void emit() {
+    std::printf("%s}\n", buf_.c_str());
+    if (json_file() != nullptr) {
+      std::fprintf(json_file(), "%s}\n", buf_.c_str());
+    }
+  }
 
  private:
   void sep() {
@@ -260,5 +296,97 @@ class JsonLine {
   }
   std::string buf_ = "{";
 };
+
+// A JsonLine pre-tagged with the bench name given to init().
+inline JsonLine json() {
+  JsonLine j;
+  if (!bench_name().empty()) j.field("bench", bench_name());
+  return j;
+}
+
+// ---- traced runs -----------------------------------------------------------
+
+// Runs the echo workload once with a live trace recorder and prints the
+// per-phase RPC decomposition derived from the spans.  Under
+// --trace-out=FILE the run is also exported as Chrome-trace/Perfetto
+// JSON.  Coverage compares the mean "call" span against the measured
+// per-op end-to-end latency (the warm-up op is traced but untimed, so
+// the comparison is per-op, not total).
+template <typename World>
+void traced_phase_report(World& w, const char* title, std::size_t bytes = 0,
+                         int reps = 10) {
+  trace::Recorder rec(w.engine, 1u << 18);
+  sim::Time t0 = 0, t1 = 0;
+  w.server.spawn_thread("srv", [&](lynx::ThreadCtx& ctx) {
+    return echo_server(ctx, w.server_end, reps + 1);
+  });
+  w.client.spawn_thread("cli", [&](lynx::ThreadCtx& ctx) {
+    return echo_client(ctx, w.client_end, reps, bytes, &t0, &t1, &w.engine);
+  });
+  w.engine.run();
+  RELYNX_ASSERT_MSG(w.engine.process_failures().empty(),
+                    "traced workload failed");
+
+  std::printf("\n--- %s: per-phase decomposition (from trace spans) ---\n",
+              title);
+  trace::PhaseTable table(rec);
+  table.print();
+
+  const double e2e_ms = sim::to_msec(t1 - t0) / reps;
+  const double span_ms = table.mean_ms("call");
+  const double coverage = e2e_ms > 0 ? 100.0 * span_ms / e2e_ms : 0.0;
+  std::printf("  \"call\" spans cover %.1f%% of measured end-to-end latency"
+              " (%.3f / %.3f ms per op)\n",
+              coverage, span_ms, e2e_ms);
+  json()
+      .field("phase_span_ms", span_ms)
+      .field("e2e_ms", e2e_ms)
+      .field("span_coverage_pct", coverage)
+      .emit();
+  if (!trace_out_path().empty()) {
+    if (trace::write_chrome_trace_file(rec, trace_out_path())) {
+      std::printf("  trace written to %s (load in ui.perfetto.dev)\n",
+                  trace_out_path().c_str());
+    } else {
+      std::fprintf(stderr, "  cannot write %s\n", trace_out_path().c_str());
+    }
+  }
+}
+
+// ---- table printing ----------------------------------------------------------
+
+inline void table_header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+struct Row {
+  std::string label;
+  double paper;
+  double measured;
+  std::string unit;
+};
+
+
+inline void print_note(const std::string& s) {
+  std::printf("  %s\n", s.c_str());
+}
+
+// Human table plus one JSON-lines record per row.
+inline void print_rows(const std::vector<Row>& rows) {
+  std::printf("%-44s %12s %12s  %s\n", "quantity", "paper", "measured",
+              "unit");
+  for (const Row& r : rows) {
+    std::printf("%-44s %12.2f %12.2f  %s\n", r.label.c_str(), r.paper,
+                r.measured, r.unit.c_str());
+  }
+  for (const Row& r : rows) {
+    json()
+        .field("label", r.label)
+        .field("paper", r.paper)
+        .field("measured", r.measured)
+        .field("unit", r.unit)
+        .emit();
+  }
+}
 
 }  // namespace bench

@@ -7,11 +7,18 @@
 // and shipping their ends to independently-written stage processes,
 // pushes work through, then REVERSES the pipeline order at run time by
 // moving the same ends again.
+//
+// The run is recorded: each pushed item gets one TraceId, every stage
+// joins the item's causal chain via ThreadCtx::set_trace_context before
+// forwarding, and at the end the example prints job0's chain — one
+// message followed across all four processes, hop by hop, down to the
+// wire frames.
 #include <cstdio>
 #include <string>
 
 #include "lynx/lynx.hpp"
 #include "sim/engine.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -42,7 +49,11 @@ sim::Task<> stage(ThreadCtx& ctx, LinkHandle control, std::string tag,
       co_await ctx.reply(item, std::move(ack));
       payload += ">" + tag;
       Message fwd = lynx::make_message("item", {payload});
+      // Join the item's causal chain so the forwarding call — and its
+      // wire frames — carry the same TraceId the coordinator minted.
+      ctx.set_trace_context(item.trace);
       (void)co_await ctx.call(out_link, std::move(fwd));
+      ctx.set_trace_context(0);
     }
     ctx.disable_requests(in_link);
     // hand the stage links back to the coordinator for rewiring
@@ -57,7 +68,7 @@ struct Coordinator {
 };
 
 sim::Task<> coordinator(ThreadCtx& ctx, std::vector<LinkHandle> controls,
-                        int rounds) {
+                        int rounds, std::uint64_t* job0_chain) {
   const int n = static_cast<int>(controls.size());
   // Build the forward pipeline: source -> s0 -> s1 -> s2 -> sink.
   // The coordinator is both source and sink.
@@ -83,7 +94,13 @@ sim::Task<> coordinator(ThreadCtx& ctx, std::vector<LinkHandle> controls,
     for (int i = 0; i < rounds; ++i) {
       Message item = lynx::make_message(
           "item", {std::string("job") + std::to_string(i)});
+      // One TraceId per pushed item; stages propagate it downstream.
+      std::uint64_t chain = 0;
+      if (auto* rec = trace::get(ctx.engine())) chain = rec->new_trace();
+      if (config == 0 && i == 0) *job0_chain = chain;
+      ctx.set_trace_context(chain);
       (void)co_await ctx.call(source, std::move(item));
+      ctx.set_trace_context(0);
       Incoming out = co_await ctx.receive();
       std::printf("[%9.1f ms] config %d delivered: %s\n",
                   sim::to_msec(ctx.engine().now()), config,
@@ -111,6 +128,7 @@ sim::Task<> coordinator(ThreadCtx& ctx, std::vector<LinkHandle> controls,
 
 int main() {
   sim::Engine engine;
+  trace::Recorder recorder(engine);
   lynx::SodaDirectory directory;
   net::CsmaBusParams bus;
   bus.broadcast_drop_prob = 0.0;
@@ -153,13 +171,27 @@ int main() {
                        tags[i], 3, 2);
         });
   }
+  std::uint64_t job0_chain = 0;
   coord.spawn_thread("coordinator", [&](ThreadCtx& ctx) {
-    return coordinator(ctx, controls, 3);
+    return coordinator(ctx, controls, 3, &job0_chain);
   });
   engine.run();
 
   std::printf("\npipeline ran two configurations (forward and reversed) in "
               "%.1f simulated ms\n",
               sim::to_msec(engine.now()));
+
+  // Follow job0 across the three stage processes and back: every record
+  // below carries the single TraceId minted when the item was pushed.
+  std::printf("\ncausal chain of job0 (trace %llu):\n",
+              static_cast<unsigned long long>(job0_chain));
+  for (const trace::Record& r : recorder.snapshot()) {
+    const bool labelled = r.kind == trace::Kind::kSpanBegin ||
+                          r.kind == trace::Kind::kInstant;
+    if (!labelled || r.trace != job0_chain) continue;
+    std::printf("  [%9.3f ms] node %u  %-8s %s\n", sim::to_msec(r.at),
+                r.node, recorder.track_name(r.track).c_str(),
+                recorder.label_name(r.label).c_str());
+  }
   return 0;
 }

@@ -5,14 +5,21 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
 //
+// Pass --trace-out=FILE to record the run and export it in Chrome
+// trace-event format — open the file at https://ui.perfetto.dev to see
+// every operation decomposed into gather / send / wait / scatter spans.
+//
 // The structure mirrors a minimal LYNX program: a server process with an
 // open request queue serving "add" operations, and a client process
 // connecting to it.  Swap the backend construction (and the connect
 // call) to run the same program on Charlotte or SODA.
 #include <cstdio>
+#include <string>
 
 #include "lynx/lynx.hpp"
 #include "sim/engine.hpp"
+#include "trace/perfetto.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -59,8 +66,16 @@ sim::Task<> wire(lynx::Process* s, lynx::Process* c, LinkHandle* se,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string flag = "--trace-out=";
+    if (arg.rfind(flag, 0) == 0) trace_out = arg.substr(flag.size());
+  }
+
   sim::Engine engine;
+  trace::Recorder recorder(engine);
   chrysalis::Kernel butterfly(engine);
 
   lynx::Process server(engine, "server",
@@ -88,5 +103,17 @@ int main() {
               sim::to_msec(engine.now()),
               server.thread_failures().size() +
                   client.thread_failures().size());
+
+  if (!trace_out.empty()) {
+    if (trace::write_chrome_trace_file(recorder, trace_out)) {
+      std::printf("trace: %llu events -> %s (digest %016llx)\n",
+                  static_cast<unsigned long long>(recorder.total_emitted()),
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(recorder.digest()));
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_out.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

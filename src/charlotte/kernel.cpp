@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/token_ring.hpp"
+#include "trace/trace.hpp"
 
 namespace charlotte {
 
@@ -106,7 +107,8 @@ Kernel::Kernel(Cluster& cluster, net::NodeId node)
                             [this](const net::Frame& f) { on_frame(f); });
 }
 
-void Kernel::transmit(net::NodeId dst, wire::KernelFrame frame) {
+void Kernel::transmit(net::NodeId dst, wire::KernelFrame frame,
+                      std::uint64_t trace) {
   ++frames_out_;
   if (std::holds_alternative<wire::MoveUpdate>(frame) ||
       std::holds_alternative<wire::PeerMoved>(frame) ||
@@ -114,6 +116,10 @@ void Kernel::transmit(net::NodeId dst, wire::KernelFrame frame) {
     ++move_frames_;
   }
   const std::size_t bytes = wire::frame_bytes(frame);
+  if (auto* rec = trace::get(cluster_->engine())) {
+    rec->instant(node_.value(), "wire", "frame.tx", trace, frame.index(),
+                 bytes);
+  }
   if (dst == node_) {
     // Home traffic for a locally-created link: no ring trip, but the
     // kernel still does the protocol work.
@@ -124,7 +130,9 @@ void Kernel::transmit(net::NodeId dst, wire::KernelFrame frame) {
         });
     return;
   }
-  cluster_->medium().send(net::Frame{node_, dst, bytes, std::move(frame)});
+  net::Frame out{node_, dst, bytes, std::move(frame)};
+  out.trace_id = trace;
+  cluster_->medium().send(std::move(out));
 }
 
 void Kernel::on_frame(const net::Frame& frame) {
@@ -133,6 +141,10 @@ void Kernel::on_frame(const net::Frame& frame) {
   if (const auto* msg = std::get_if<wire::Msg>(&kf)) {
     cost += cluster_->costs().per_byte_copy *
             static_cast<sim::Duration>(msg->data.size());
+  }
+  if (auto* rec = trace::get(cluster_->engine())) {
+    rec->instant(node_.value(), "wire", "frame.rx", frame.trace_id, frame.id,
+                 frame.payload_bytes);
   }
   cluster_->engine().schedule(cost, [this, kf, src = frame.src] {
     std::visit([this, src](const auto& m) { handle(m, src); }, kf);
@@ -187,7 +199,7 @@ sim::Task<common::Result<LinkPair, Status>> Kernel::make_link(Pid caller) {
 }
 
 sim::Task<Status> Kernel::send(Pid caller, EndId end_id, Payload data,
-                               EndId enclosure) {
+                               EndId enclosure, std::uint64_t trace) {
   EndState* end = nullptr;
   if (Status st = validate_owned(caller, end_id, &end); st != Status::kOk) {
     co_await cluster_->engine().sleep(cluster_->costs().call_overhead);
@@ -224,7 +236,8 @@ sim::Task<Status> Kernel::send(Pid caller, EndId end_id, Payload data,
   }
 
   const std::uint64_t seq = next_seq_++;
-  wire::Msg msg{seq, end_id, end->peer, std::move(data), has_enclosure, desc};
+  wire::Msg msg{seq,  end_id, end->peer, std::move(data),
+                has_enclosure, desc,   trace};
   const std::size_t len = msg.data.size();
   end->send = SendActivity{msg, has_enclosure ? desc.end : EndId::invalid(),
                            false, 1, {}};
@@ -235,7 +248,7 @@ sim::Task<Status> Kernel::send(Pid caller, EndId end_id, Payload data,
                        costs.per_byte_copy * static_cast<sim::Duration>(len);
   if (has_enclosure) cost += costs.enclosure_processing;
   co_await cluster_->engine().sleep(cost);
-  transmit(dst, std::move(msg));
+  transmit(dst, std::move(msg), trace);
   // Re-find the end: the sleep may have raced a destroy or a move.
   if (EndState* e = find_end(end_id);
       e != nullptr && e->send.has_value() && e->send->msg.seq == seq) {
@@ -269,7 +282,12 @@ void Kernel::on_send_timeout(EndId end_id, std::uint64_t seq) {
   }
   ++end->send->attempts;
   ++retransmits_;
-  transmit(end->peer_node, end->send->msg);
+  if (auto* rec = trace::get(cluster_->engine())) {
+    rec->instant(node_.value(), "kernel", "msg.retransmit",
+                 end->send->msg.trace, seq,
+                 static_cast<std::uint64_t>(end->send->attempts));
+  }
+  transmit(end->peer_node, end->send->msg, end->send->msg.trace);
   arm_send_timer(*end);
 }
 
@@ -400,6 +418,7 @@ void Kernel::deliver_pending(EndState& end) {
   c.direction = Direction::kReceive;
   c.status = Status::kOk;
   c.length = len;
+  c.trace = pm.msg.trace;
   c.data.assign(pm.msg.data.begin(),
                 pm.msg.data.begin() + static_cast<std::ptrdiff_t>(len));
 
@@ -423,11 +442,11 @@ void Kernel::deliver_pending(EndState& end) {
 
   const Pid owner = end.owner;
   const net::NodeId ack_to = pm.from_node;
-  const wire::MsgAck ack{pm.msg.seq, pm.msg.from_end, len};
+  const wire::MsgAck ack{pm.msg.seq, pm.msg.from_end, len, pm.msg.trace};
   cluster_->engine().schedule(cost, [this, owner, c = std::move(c), ack,
                                      ack_to] {
     complete(owner, c);
-    transmit(ack_to, ack);
+    transmit(ack_to, ack, ack.trace);
   });
 }
 
@@ -491,7 +510,7 @@ bool Kernel::deduplicate(EndState& end, const wire::Msg& m, net::NodeId from) {
     if (seq == m.seq) {
       // Already delivered; the original ack (or this replacement) was
       // lost in flight.  Re-ack so the sender's timer stands down.
-      transmit(from, wire::MsgAck{m.seq, m.from_end, len});
+      transmit(from, wire::MsgAck{m.seq, m.from_end, len, m.trace}, m.trace);
       return true;
     }
   }
@@ -540,6 +559,10 @@ void Kernel::handle(const wire::MsgNackMoved& m, net::NodeId /*from*/) {
   }
   end->peer_node = m.new_node;
   ++retransmits_;
+  if (auto* rec = trace::get(cluster_->engine())) {
+    rec->instant(node_.value(), "kernel", "msg.retransmit.moved",
+                 end->send->msg.trace, m.seq, m.new_node.value());
+  }
   const Costs& costs = cluster_->costs();
   const sim::Duration cost =
       costs.frame_processing +
@@ -547,7 +570,7 @@ void Kernel::handle(const wire::MsgNackMoved& m, net::NodeId /*from*/) {
           static_cast<sim::Duration>(end->send->msg.data.size());
   cluster_->engine().schedule(
       cost, [this, msg = end->send->msg, dst = m.new_node] {
-        transmit(dst, msg);
+        transmit(dst, msg, msg.trace);
       });
   arm_send_timer(*end);
 }

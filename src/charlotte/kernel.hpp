@@ -51,8 +51,12 @@ class Kernel {
   // Bounded-time calls still charge simulated CPU, hence Task-returning.
   [[nodiscard]] sim::Task<common::Result<LinkPair, Status>> make_link(
       Pid caller);
+  // `trace` is the causal identity of the RPC this payload serves; the
+  // kernel stamps it into the Msg (and its acks and retransmits) so the
+  // trace stream can follow it across the ring.
   [[nodiscard]] sim::Task<Status> send(Pid caller, EndId end, Payload data,
-                                       EndId enclosure = EndId::invalid());
+                                       EndId enclosure = EndId::invalid(),
+                                       std::uint64_t trace = 0);
   [[nodiscard]] sim::Task<Status> receive(Pid caller, EndId end,
                                           std::size_t max_len);
   [[nodiscard]] sim::Task<Status> cancel(Pid caller, EndId end,
@@ -154,7 +158,10 @@ class Kernel {
   void handle(const wire::DestroyUpdate& m, net::NodeId from);
   void handle(const wire::LinkDown& m, net::NodeId from);
 
-  void transmit(net::NodeId dst, wire::KernelFrame frame);
+  // `trace` stamps the outgoing net::Frame (and the frame.tx record);
+  // pass the Msg/MsgAck trace where one exists, 0 for protocol frames.
+  void transmit(net::NodeId dst, wire::KernelFrame frame,
+                std::uint64_t trace = 0);
   void deliver_pending(EndState& end);
   void complete(Pid pid, Completion c);
   void fail_end_activities(EndState& end, Status status);

@@ -79,6 +79,10 @@ struct Completion {
   std::size_t length = 0;
   EndId enclosure = EndId::invalid();  // received enclosure, if any
   Payload data;                        // delivered bytes (receive side)
+  // Causal identity recovered from the message that produced this
+  // completion (receive side), so language run-times continue the
+  // sender's trace chain.  0 = untraced.
+  std::uint64_t trace = 0;
 };
 
 struct LinkPair {

@@ -38,6 +38,11 @@ struct Msg {
   Payload data;
   bool has_enclosure = false;
   EnclosureDesc enclosure{};
+  // Causal identity (trace::TraceId, 0 = untraced).  Retained across
+  // NACK- and timeout-driven retransmits so every copy of the message is
+  // attributable to the originating RPC.  Simulation metadata: not
+  // counted in frame_bytes.
+  std::uint64_t trace = 0;
 };
 
 // Delivery acknowledged; sender's Wait may complete.
@@ -45,6 +50,7 @@ struct MsgAck {
   std::uint64_t seq;
   EndId to_end;              // the *sending* end
   std::size_t delivered_len;
+  std::uint64_t trace = 0;   // inherited from the acked Msg
 };
 
 // Addressee end is no longer here; retransmit to `new_node`.

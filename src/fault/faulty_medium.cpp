@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace fault {
 
 namespace {
@@ -122,9 +124,13 @@ void FaultyMedium::apply(const Action& action) {
 
 void FaultyMedium::record(FaultKind kind, std::uint64_t frame_id,
                           net::NodeId src, net::NodeId dst,
-                          sim::Duration delay) {
+                          sim::Duration delay, std::uint64_t trace) {
   FaultRecord rec{engine_->now(), kind, frame_id, src, dst, delay};
   log_.push_back(rec);
+  if (auto* trec = trace::get(*engine_)) {
+    trec->instant(src.valid() ? src.value() : 0, "fault", to_string(kind),
+                  trace, frame_id, static_cast<std::uint64_t>(delay));
+  }
   for (auto& obs : fault_observers_) obs(rec);
 }
 
@@ -141,30 +147,32 @@ bool FaultyMedium::impair_outbound(net::Frame& frame, bool is_broadcast) {
   const net::NodeId dst = is_broadcast ? net::NodeId::invalid() : frame.dst;
   if (crashed_.contains(frame.src)) {
     ++drops_;
-    record(FaultKind::kCrashDrop, frame.id, frame.src, dst);
+    record(FaultKind::kCrashDrop, frame.id, frame.src, dst, 0,
+           frame.trace_id);
     return false;
   }
   if (!is_broadcast) {
     if (auto kind = severed(frame.src, frame.dst)) {
       ++drops_;
-      record(*kind, frame.id, frame.src, frame.dst);
+      record(*kind, frame.id, frame.src, frame.dst, 0, frame.trace_id);
       return false;
     }
   }
   const double p = drop_probability(frame.src, dst);
   if (p > 0.0 && rng_.next_bool(p)) {
     ++drops_;
-    record(FaultKind::kDrop, frame.id, frame.src, dst);
+    record(FaultKind::kDrop, frame.id, frame.src, dst, 0, frame.trace_id);
     return false;
   }
   const BackgroundModel& bg = plan_.background();
   if (bg.corrupt_prob > 0.0 && rng_.next_bool(bg.corrupt_prob)) {
     frame.corrupted = true;
-    record(FaultKind::kCorrupt, frame.id, frame.src, dst);
+    record(FaultKind::kCorrupt, frame.id, frame.src, dst, 0, frame.trace_id);
   }
   if (bg.duplicate_prob > 0.0 && rng_.next_bool(bg.duplicate_prob)) {
     ++duplicates_;
-    record(FaultKind::kDuplicate, frame.id, frame.src, dst);
+    record(FaultKind::kDuplicate, frame.id, frame.src, dst, 0,
+           frame.trace_id);
     net::Frame copy = frame;  // same id: a duplicate, not a new frame
     if (is_broadcast) {
       inner_->broadcast(std::move(copy));
@@ -179,17 +187,19 @@ void FaultyMedium::deliver(const net::FrameHandler& handler,
                            net::NodeId receiver, const net::Frame& frame) {
   if (crashed_.contains(receiver)) {
     ++drops_;
-    record(FaultKind::kCrashDrop, frame.id, frame.src, receiver);
+    record(FaultKind::kCrashDrop, frame.id, frame.src, receiver, 0,
+           frame.trace_id);
     return;
   }
   if (auto kind = severed(frame.src, receiver)) {
     ++drops_;
-    record(*kind, frame.id, frame.src, receiver);
+    record(*kind, frame.id, frame.src, receiver, 0, frame.trace_id);
     return;
   }
   if (frame.corrupted) {
     ++corrupt_discards_;
-    record(FaultKind::kCorruptDiscard, frame.id, frame.src, receiver);
+    record(FaultKind::kCorruptDiscard, frame.id, frame.src, receiver, 0,
+           frame.trace_id);
     return;
   }
   const sim::Duration max_jitter = plan_.background().max_jitter;
@@ -197,7 +207,8 @@ void FaultyMedium::deliver(const net::FrameHandler& handler,
     const sim::Duration extra = rng_.next_range(0, max_jitter);
     if (extra > 0) {
       ++delays_;
-      record(FaultKind::kDelay, frame.id, frame.src, receiver, extra);
+      record(FaultKind::kDelay, frame.id, frame.src, receiver, extra,
+             frame.trace_id);
       engine_->schedule(extra, [this, h = &handler, receiver, f = frame] {
         finish_delivery(*h, receiver, f);
       });

@@ -114,8 +114,13 @@ class FaultyMedium final : public net::Medium {
 
  private:
   void apply(const Action& action);
+  // `trace` is the causal identity of the impaired frame (0 for
+  // frame-less faults such as cuts and crashes); forwarded into the
+  // trace recorder so injected faults land in the same event stream as
+  // the RPC they hit.
   void record(FaultKind kind, std::uint64_t frame_id, net::NodeId src,
-              net::NodeId dst, sim::Duration delay = 0);
+              net::NodeId dst, sim::Duration delay = 0,
+              std::uint64_t trace = 0);
   // Per-frame send-side faults; returns false if the frame was consumed
   // (dropped).  May mark the frame corrupted or inject a duplicate.
   bool impair_outbound(net::Frame& frame, bool is_broadcast);

@@ -32,6 +32,9 @@ struct WireMessage {
   MsgKind kind = MsgKind::kRequest;
   Bytes body;
   std::vector<BLink> enclosures;
+  // Causal identity threaded from the runtime into the kernel frames
+  // (trace::TraceId; 0 = untraced).
+  std::uint64_t trace_id = 0;
 };
 
 enum class SendResult : std::uint8_t {
@@ -68,6 +71,9 @@ struct BackendEvent {
   BLink link;
   Bytes body;
   std::vector<BLink> enclosures;  // receiver-side tokens of moved ends
+  // TraceId recovered from the arriving message (0 = untraced), so the
+  // receiving runtime continues the sender's causal chain.
+  std::uint64_t trace = 0;
 };
 
 // Paper §6: the four capabilities that distinguish the primitive-kernel
@@ -116,6 +122,10 @@ class Backend {
   // Instrumentation for the experiments: kernel-level messages/frames
   // attributable to this backend since start.
   [[nodiscard]] virtual std::uint64_t protocol_messages() const = 0;
+
+  // The simulated node this backend's process lives on, for trace
+  // records (one Perfetto track group per node).
+  [[nodiscard]] virtual std::uint32_t trace_node() const { return 0; }
 };
 
 }  // namespace lynx

@@ -2,11 +2,27 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace lynx {
 
 namespace {
 
 constexpr std::size_t kMaxReceive = 64 * 1024;
+
+// Trace labels for the backend's own packet protocol (indexed by PType).
+const char* ptype_label(std::uint8_t p) {
+  switch (p) {
+    case 0: return "pkt.request";
+    case 1: return "pkt.reply";
+    case 2: return "pkt.retry";
+    case 3: return "pkt.forbid";
+    case 4: return "pkt.allow";
+    case 5: return "pkt.goahead";
+    case 6: return "pkt.enc";
+  }
+  return "pkt.?";
+}
 
 // Both statuses end the link from the runtime's point of view; kLinkFailed
 // is the kernel's absolute transport-failure notice (crashed peer, severed
@@ -125,6 +141,7 @@ std::unique_ptr<PendingSend> CharlotteBackend::begin_send(BLink token,
   out.kind = msg.kind;
   out.body = std::move(msg.body);
   out.ps = ps.get();
+  out.trace = msg.trace_id;
   for (BLink e : msg.enclosures) {
     CLink* enc = find(e);
     RELYNX_ASSERT_MSG(enc != nullptr, "unknown enclosure token");
@@ -162,6 +179,7 @@ void CharlotteBackend::start_next_out(CLink& link) {
   ks.payload = encode_packet(static_cast<std::uint8_t>(ks.ptype), total,
                              out.body);
   ks.out_id = out.id;
+  ks.trace = out.trace;
   if (total >= 1) {
     ks.enclosure = out.enclosure_ends[0];
     out.next_enclosure = 1;
@@ -175,6 +193,11 @@ void CharlotteBackend::start_next_out(CLink& link) {
 }
 
 void CharlotteBackend::queue_ksend(CLink& link, KSend ks) {
+  if (auto* rec = trace::get(cluster_->engine())) {
+    rec->instant(node_.value(), "backend",
+                 ptype_label(static_cast<std::uint8_t>(ks.ptype)), ks.trace,
+                 ks.out_id, ks.payload.size());
+  }
   link.ksend_queue.push_back(std::move(ks));
   if (!link.kernel_send_busy) {
     cluster_->engine().spawn("charlotte-ksend", run_ksend(link.token));
@@ -191,7 +214,7 @@ sim::Task<> CharlotteBackend::run_ksend(BLink token) {
   ++packets_sent_;
   ++stats_.packets_sent;
   charlotte::Status st = co_await cluster_->kernel(node_).send(
-      pid_, link->end, ks.payload, ks.enclosure);
+      pid_, link->end, ks.payload, ks.enclosure, ks.trace);
   if (st == charlotte::Status::kOk) co_return;  // completion via Wait
   // Immediate rejection.
   link = find(token);
@@ -275,6 +298,7 @@ void CharlotteBackend::dispatch_send_done(const charlotte::Completion& c) {
         enc.enclosure = out.enclosure_ends[
             static_cast<std::size_t>(out.next_enclosure)];
         enc.out_id = out.id;
+        enc.trace = out.trace;
         ++out.next_enclosure;
         ++stats_.enc_packets_sent;
         queue_ksend(*link, std::move(enc));
@@ -314,7 +338,7 @@ void CharlotteBackend::dispatch_receive(const charlotte::Completion& c) {
   const auto ptype = static_cast<PType>(c.data[0]);
   const std::uint8_t enc_total = c.data[1];
   Bytes body(c.data.begin() + 2, c.data.end());
-  on_incoming(*link, ptype, enc_total, std::move(body), c.enclosure);
+  on_incoming(*link, ptype, enc_total, std::move(body), c.enclosure, c.trace);
   if (CLink* again = find(link->token)) {
     update_receive_posting(*again);
   }
@@ -322,7 +346,8 @@ void CharlotteBackend::dispatch_receive(const charlotte::Completion& c) {
 
 void CharlotteBackend::on_incoming(CLink& link, PType ptype,
                                    std::uint8_t enc_total, Bytes body,
-                                   charlotte::EndId enclosure) {
+                                   charlotte::EndId enclosure,
+                                   std::uint64_t trace) {
   switch (ptype) {
     case PType::kRequest: {
       if (!link.want_requests) {
@@ -344,6 +369,7 @@ void CharlotteBackend::on_incoming(CLink& link, PType ptype,
           ++stats_.retries_sent;
         }
         back.enclosure = enclosure;  // return the moved end
+        back.trace = trace;          // bounce keeps the request's identity
         queue_ksend(link, std::move(back));
         return;
       }
@@ -352,19 +378,22 @@ void CharlotteBackend::on_incoming(CLink& link, PType ptype,
         a.kind = MsgKind::kRequest;
         a.body = std::move(body);
         a.expected = enc_total;
+        a.trace = trace;
         if (enclosure.valid()) a.enclosures.push_back(adopt_end(enclosure));
         link.assembly = std::move(a);
         KSend go;
         go.ptype = PType::kGoahead;
         go.payload =
             encode_packet(static_cast<std::uint8_t>(PType::kGoahead), 0, {});
+        go.trace = trace;
         ++stats_.goaheads_sent;
         queue_ksend(link, std::move(go));
         return;
       }
       std::vector<BLink> encl;
       if (enclosure.valid()) encl.push_back(adopt_end(enclosure));
-      deliver(link, MsgKind::kRequest, std::move(body), std::move(encl));
+      deliver(link, MsgKind::kRequest, std::move(body), std::move(encl),
+              trace);
       return;
     }
     case PType::kReply: {
@@ -373,13 +402,14 @@ void CharlotteBackend::on_incoming(CLink& link, PType ptype,
         a.kind = MsgKind::kReply;
         a.body = std::move(body);
         a.expected = enc_total;
+        a.trace = trace;
         if (enclosure.valid()) a.enclosures.push_back(adopt_end(enclosure));
         link.assembly = std::move(a);
         return;  // ENC packets follow, no goahead needed
       }
       std::vector<BLink> encl;
       if (enclosure.valid()) encl.push_back(adopt_end(enclosure));
-      deliver(link, MsgKind::kReply, std::move(body), std::move(encl));
+      deliver(link, MsgKind::kReply, std::move(body), std::move(encl), trace);
       return;
     }
     case PType::kEnc: {
@@ -392,7 +422,7 @@ void CharlotteBackend::on_incoming(CLink& link, PType ptype,
         Assembly done = std::move(*link.assembly);
         link.assembly.reset();
         deliver(link, done.kind, std::move(done.body),
-                std::move(done.enclosures));
+                std::move(done.enclosures), done.trace);
       }
       return;
     }
@@ -411,6 +441,7 @@ void CharlotteBackend::on_incoming(CLink& link, PType ptype,
         enc.enclosure = out.enclosure_ends[
             static_cast<std::size_t>(out.next_enclosure)];
         enc.out_id = out.id;
+        enc.trace = out.trace;
         ++out.next_enclosure;
         ++stats_.enc_packets_sent;
         queue_ksend(link, std::move(enc));
@@ -470,7 +501,8 @@ void CharlotteBackend::on_incoming(CLink& link, PType ptype,
 }
 
 void CharlotteBackend::deliver(CLink& link, MsgKind kind, Bytes body,
-                               std::vector<BLink> enclosures) {
+                               std::vector<BLink> enclosures,
+                               std::uint64_t trace) {
   // Delivering a request ends any pending retry/forbid consideration on
   // the pairing: a reply delivered on this link also retires the
   // bounce-tracking for our last request (it was evidently accepted).
@@ -484,6 +516,7 @@ void CharlotteBackend::deliver(CLink& link, MsgKind kind, Bytes body,
   ev.link = link.token;
   ev.body = std::move(body);
   ev.enclosures = std::move(enclosures);
+  ev.trace = trace;
   if (sink_) sink_(ev);
 }
 

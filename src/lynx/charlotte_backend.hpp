@@ -69,6 +69,9 @@ class CharlotteBackend final : public Backend {
   [[nodiscard]] std::uint64_t protocol_messages() const override {
     return packets_sent_;
   }
+  [[nodiscard]] std::uint32_t trace_node() const override {
+    return node_.value();
+  }
 
   [[nodiscard]] charlotte::Pid pid() const { return pid_; }
 
@@ -120,6 +123,7 @@ class CharlotteBackend final : public Backend {
     bool awaiting_goahead = false;
     bool cancel_requested = false;
     CharlottePendingSend* ps = nullptr;  // null once resolved
+    std::uint64_t trace = 0;     // causal identity from the WireMessage
   };
 
   // One kernel Send in flight or queued (Charlotte allows one
@@ -129,6 +133,9 @@ class CharlotteBackend final : public Backend {
     charlotte::EndId enclosure = charlotte::EndId::invalid();
     std::uint64_t out_id = 0;    // owning OutMsg, 0 for control packets
     PType ptype = PType::kRequest;
+    // Causal identity handed to the kernel Send; control packets carry
+    // the trace of the message that provoked them.
+    std::uint64_t trace = 0;
   };
 
   // Reassembly of an incoming multi-enclosure message.
@@ -137,6 +144,7 @@ class CharlotteBackend final : public Backend {
     Bytes body;
     std::vector<BLink> enclosures;
     int expected = 0;
+    std::uint64_t trace = 0;  // from the first packet of the message
   };
 
   struct CLink {
@@ -161,9 +169,10 @@ class CharlotteBackend final : public Backend {
   void dispatch_receive(const charlotte::Completion& c);
   void dispatch_send_done(const charlotte::Completion& c);
   void on_incoming(CLink& link, PType ptype, std::uint8_t enc_total,
-                   Bytes body, charlotte::EndId enclosure);
+                   Bytes body, charlotte::EndId enclosure,
+                   std::uint64_t trace);
   void deliver(CLink& link, MsgKind kind, Bytes body,
-               std::vector<BLink> enclosures);
+               std::vector<BLink> enclosures, std::uint64_t trace);
   void start_next_out(CLink& link);
   void queue_ksend(CLink& link, KSend ks);
   void drain(CLink& link);

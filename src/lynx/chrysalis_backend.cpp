@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace lynx {
 
 namespace {
@@ -52,12 +54,15 @@ constexpr std::size_t kOffSlots = 16;
 }
 
 // buffer content: u32 body_len | body | u8 enc_count | per enc (u64 obj,
-// u8 side)
+// u8 side) | u64 trace.  The trailing trace word carries the causal
+// identity through the shared-memory link object: Chrysalis has no
+// network frame to stamp, so it rides in the buffer encoding itself.
 Bytes encode_buffer(const Bytes& body,
                     const std::vector<std::pair<std::uint64_t,
-                                                std::uint8_t>>& encs) {
+                                                std::uint8_t>>& encs,
+                    std::uint64_t trace) {
   Bytes out;
-  out.reserve(4 + body.size() + 1 + encs.size() * 9);
+  out.reserve(4 + body.size() + 1 + encs.size() * 9 + 8);
   for (int i = 0; i < 4; ++i) {
     out.push_back(static_cast<std::uint8_t>(body.size() >> (8 * i)));
   }
@@ -69,12 +74,16 @@ Bytes encode_buffer(const Bytes& body,
     }
     out.push_back(side);
   }
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(trace >> (8 * i)));
+  }
   return out;
 }
 
 struct DecodedBuffer {
   Bytes body;
   std::vector<std::pair<std::uint64_t, std::uint8_t>> encs;
+  std::uint64_t trace = 0;
 };
 
 DecodedBuffer decode_buffer(const Bytes& raw) {
@@ -97,6 +106,11 @@ DecodedBuffer decode_buffer(const Bytes& raw) {
       obj |= static_cast<std::uint64_t>(raw[pos++]) << (8 * b);
     }
     out.encs.emplace_back(obj, raw[pos++]);
+  }
+  if (pos + 8 <= raw.size()) {
+    for (int b = 0; b < 8; ++b) {
+      out.trace |= static_cast<std::uint64_t>(raw[pos++]) << (8 * b);
+    }
   }
   return out;
 }
@@ -302,12 +316,16 @@ sim::Task<> ChrysalisBackend::perform_send(BLink link, WireMessage msg,
     RELYNX_ASSERT_MSG(er != nullptr, "enclosure token unknown");
     encs.emplace_back(er->obj.value(), er->side);
   }
-  Bytes buf = encode_buffer(msg.body, encs);
+  Bytes buf = encode_buffer(msg.body, encs, msg.trace_id);
   RELYNX_ASSERT_MSG(buf.size() + 4 <= 4 + params_.max_message_bytes,
                     "message exceeds link buffer");
   (void)co_await kernel_->block_write(pid_, obj, slot_offset(slot) + 4, buf);
   (void)co_await kernel_->write32(pid_, obj, slot_offset(slot),
                                   static_cast<std::uint32_t>(buf.size()));
+  if (auto* rec2 = trace::get(kernel_->engine())) {
+    rec2->instant(node_.value(), "backend", "slot.fill", msg.trace_id,
+                  static_cast<std::uint64_t>(slot), buf.size());
+  }
   // Set the flag FIRST, then read the peer's dual-queue name: this
   // ordering (against the mover's write-name-then-inspect-flags) is what
   // makes the non-atomic name update safe (paper §5.2).
@@ -315,7 +333,7 @@ sim::Task<> ChrysalisBackend::perform_send(BLink link, WireMessage msg,
   auto dq_name = co_await kernel_->read32(pid_, obj, dq_offset(peer));
   if (dq_name.ok()) {
     ++notices_;
-    auto est = co_await kernel_->enqueue(
+    (void)co_await kernel_->enqueue(
         pid_, chrysalis::DqId(dq_name.value()),
         make_notice(obj, kCodeFilledBase + static_cast<std::uint32_t>(slot)));
   }
@@ -396,6 +414,10 @@ sim::Task<> ChrysalisBackend::consume_incoming(chrysalis::MemId obj,
   }
 
   DecodedBuffer decoded = decode_buffer(raw.value());
+  if (auto* trec = trace::get(kernel_->engine())) {
+    trec->instant(node_.value(), "backend", "slot.consume", decoded.trace,
+                  static_cast<std::uint64_t>(slot), raw.value().size());
+  }
   // Install moved ends: map, write our dual-queue name (non-atomic),
   // THEN inspect flags and self-notice anything already set.
   std::vector<BLink> enclosures;
@@ -436,6 +458,7 @@ sim::Task<> ChrysalisBackend::consume_incoming(chrysalis::MemId obj,
   ev.link = token;
   ev.body = std::move(decoded.body);
   ev.enclosures = std::move(enclosures);
+  ev.trace = decoded.trace;
   if (sink_) sink_(ev);
 }
 

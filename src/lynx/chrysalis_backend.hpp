@@ -64,6 +64,9 @@ class ChrysalisBackend final : public Backend {
   [[nodiscard]] std::uint64_t protocol_messages() const override {
     return notices_;
   }
+  [[nodiscard]] std::uint32_t trace_node() const override {
+    return node_.value();
+  }
 
   [[nodiscard]] chrysalis::Pid pid() const { return pid_; }
 

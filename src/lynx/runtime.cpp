@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace lynx {
 
 // ===================== Process =====================
@@ -154,7 +156,7 @@ void Process::on_backend_event(BackendEvent ev) {
       std::vector<LinkHandle> handles;
       handles.reserve(ev.enclosures.size());
       for (BLink e : ev.enclosures) handles.push_back(adopt_link(e));
-      Delivered d{deserialize(ev.body, handles), ev.body};
+      Delivered d{deserialize(ev.body, handles), ev.body, ev.trace};
 
       if (ev.kind == BackendEvent::Kind::kRequestArrived) {
         if (!declared_ops_.empty() && !declared_ops_.contains(d.msg.op)) {
@@ -169,7 +171,7 @@ void Process::on_backend_event(BackendEvent ev) {
           }
           auto ps = backend_->begin_send(
               ls.blink, WireMessage{MsgKind::kReply, std::move(ser.body),
-                                    std::move(blinks)});
+                                    std::move(blinks), ev.trace});
           // fire and forget; drop the moved-back ends
           auto* raw = ps.release();
           engine_->spawn(name_ + "/reject",
@@ -251,6 +253,14 @@ std::vector<BLink> Process::check_and_stage_enclosures(
 
 // ===================== ThreadCtx =====================
 
+void ThreadCtx::set_trace_context(std::uint64_t t) {
+  proc_->threads_.at(id_).trace_ctx = t;
+}
+
+std::uint64_t ThreadCtx::trace_context() const {
+  return proc_->threads_.at(id_).trace_ctx;
+}
+
 void ThreadCtx::check_abort() {
   auto& ts = proc_->threads_.at(id_);
   if (ts.abort_requested) {
@@ -324,11 +334,24 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
     }
   }
 
+  // Causal identity: join the thread's context chain if one is set,
+  // otherwise start a fresh trace for this operation.  The id rides in
+  // the WireMessage and comes back with the reply, so every kernel frame
+  // and fault event in between is attributable to this call.
+  trace::Recorder* rec = trace::get(engine());
+  const std::uint32_t tnode = p.backend_->trace_node();
+  std::uint64_t call_trace = p.threads_.at(id_).trace_ctx;
+  if (rec != nullptr && call_trace == 0) call_trace = rec->new_trace();
+  trace::SpanScope call_span(rec, tnode, "runtime", "call", call_trace);
+
   // gather + type bookkeeping
+  trace::SpanScope gather_span(rec, tnode, "runtime", "call.gather",
+                               call_trace);
   Serialized ser = serialize(request);
   co_await engine().sleep(
       p.costs_.per_operation +
       p.costs_.per_byte * static_cast<sim::Duration>(ser.body.size()));
+  gather_span.end();
 
   struct ClaimGuard {
     Process* p;
@@ -354,8 +377,10 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
   // which is exactly what makes unwanted deliveries possible on
   // Charlotte.
   p.backend_->set_interest(ls.blink, ls.open_requests, true);
+  trace::SpanScope send_span(rec, tnode, "runtime", "call.send", call_trace,
+                             ser.body.size());
   auto ps = p.backend_->begin_send(
-      ls.blink, WireMessage{MsgKind::kRequest, ser.body, blinks});
+      ls.blink, WireMessage{MsgKind::kRequest, ser.body, blinks, call_trace});
   auto& ts = p.threads_.at(id_);
   ts.current_send = ps.get();
   ++ls.sends_in_flight;
@@ -365,6 +390,7 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
     Process::LinkState* cur = p.find_link(link);
     if (cur != nullptr) --cur->sends_in_flight;
   }
+  send_span.end();
 
   switch (out.result) {
     case SendResult::kDelivered:
@@ -398,6 +424,7 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
   }
 
   // ---- await the reply (block point) ---------------------------------
+  trace::SpanScope wait_span(rec, tnode, "runtime", "call.wait", call_trace);
   Process::LinkState* lsp = p.find_link(link);
   if (lsp == nullptr || (lsp->destroyed && lsp->reply_q.empty())) {
     throw LynxError(ErrorKind::kLinkDestroyed, "link died before reply");
@@ -408,9 +435,9 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
     lsp->reply_q.pop_front();
   } else {
     sim::OneShot<int> wake(engine());
-    Process::CallRecord rec;
-    rec.wake = &wake;
-    lsp->active_call = &rec;
+    Process::CallRecord call_rec;
+    call_rec.wake = &wake;
+    lsp->active_call = &call_rec;
     ts.awaiting_reply_on = link;
     p.refresh_interest(*lsp);
     (void)co_await wake.take();
@@ -419,15 +446,18 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
       cur->active_call = nullptr;
       if (!cur->destroyed) p.refresh_interest(*cur);
     }
-    if (rec.failed) {
-      if (rec.error == ErrorKind::kAborted) ts.abort_requested = false;
-      throw LynxError(rec.error, "call failed awaiting reply");
+    if (call_rec.failed) {
+      if (call_rec.error == ErrorKind::kAborted) ts.abort_requested = false;
+      throw LynxError(call_rec.error, "call failed awaiting reply");
     }
-    RELYNX_ASSERT(rec.reply.has_value());
-    reply_msg = std::move(*rec.reply);
+    RELYNX_ASSERT(call_rec.reply.has_value());
+    reply_msg = std::move(*call_rec.reply);
   }
+  wait_span.end();
 
   // scatter + type check
+  trace::SpanScope scatter_span(rec, tnode, "runtime", "call.scatter",
+                                call_trace, reply_msg.raw_body.size());
   co_await engine().sleep(
       p.costs_.per_operation +
       p.costs_.per_byte *
@@ -440,6 +470,8 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
                     "reply op '" + reply_msg.msg.op + "' for request '" +
                         request.op + "'");
   }
+  scatter_span.end();
+  call_span.end();
   ++p.ops_;
   check_abort();
   co_return reply_msg.msg;
@@ -467,14 +499,19 @@ sim::Task<Incoming> ThreadCtx::receive() {
       Process::Delivered d = std::move(ls->request_q.front());
       ls->request_q.pop_front();
       p.fair_cursor_ = idx + 1;
-      co_await engine().sleep(
-          p.costs_.per_operation +
-          p.costs_.per_byte * static_cast<sim::Duration>(d.raw_body.size()));
+      {
+        trace::SpanScope scatter(trace::get(engine()),
+                                 p.backend_->trace_node(), "runtime",
+                                 "recv.scatter", d.trace, d.raw_body.size());
+        co_await engine().sleep(
+            p.costs_.per_operation +
+            p.costs_.per_byte * static_cast<sim::Duration>(d.raw_body.size()));
+      }
       const std::uint64_t token = p.next_token_++;
       p.owed_[token] = ls->handle;
       ++ls->owed_replies;
       ++p.ops_;
-      co_return Incoming{ls->handle, std::move(d.msg), token};
+      co_return Incoming{ls->handle, std::move(d.msg), token, d.trace};
     }
     if (any_open && !any_open_alive) {
       throw LynxError(ErrorKind::kLinkDestroyed,
@@ -498,21 +535,31 @@ sim::Task<void> ThreadCtx::reply(const Incoming& incoming, Message reply_msg) {
     throw LynxError(ErrorKind::kLinkDestroyed, "reply on destroyed link");
   }
 
+  trace::Recorder* rec = trace::get(engine());
+  const std::uint32_t tnode = p.backend_->trace_node();
+
   reply_msg.op = incoming.msg.op;  // replies answer the operation called
+  trace::SpanScope gather_span(rec, tnode, "runtime", "reply.gather",
+                               incoming.trace);
   Serialized ser = serialize(reply_msg);
   co_await engine().sleep(
       p.costs_.per_operation +
       p.costs_.per_byte * static_cast<sim::Duration>(ser.body.size()));
+  gather_span.end();
   std::vector<BLink> blinks =
       p.check_and_stage_enclosures(reply_msg, link, ser.enclosures);
 
+  trace::SpanScope send_span(rec, tnode, "runtime", "reply.send",
+                             incoming.trace, ser.body.size());
   auto ps = p.backend_->begin_send(
-      ls->blink, WireMessage{MsgKind::kReply, ser.body, blinks});
+      ls->blink,
+      WireMessage{MsgKind::kReply, ser.body, blinks, incoming.trace});
   auto& ts = p.threads_.at(id_);
   ts.current_send = ps.get();
   ++ls->sends_in_flight;
   SendOutcome out = co_await ps->wait();
   ts.current_send = nullptr;
+  send_span.end();
   if (auto* cur = p.find_link(link)) {
     --cur->sends_in_flight;
     cur->call_serializer->wake_one();

@@ -47,6 +47,9 @@ struct Incoming {
   LinkHandle link;
   Message msg;
   std::uint64_t token = 0;  // reply obligation
+  // Causal identity of the RPC that carried this request (0 = untraced);
+  // the reply inherits it so one TraceId follows the full round trip.
+  std::uint64_t trace = 0;
 };
 
 // Run-time package overhead per operation: the "gather and scatter
@@ -134,6 +137,7 @@ class Process {
   struct Delivered {
     Message msg;
     Bytes raw_body;  // kept for size accounting
+    std::uint64_t trace = 0;
   };
   struct CallRecord {
     // Owned by the call() frame; registered in the link while waiting.
@@ -163,6 +167,9 @@ class Process {
     PendingSend* current_send = nullptr;
     LinkHandle awaiting_reply_on;  // valid while blocked in call()
     bool abort_requested = false;
+    // When non-zero, calls made by this thread join this causal chain
+    // instead of starting a new one (set via ThreadCtx::set_trace_context).
+    std::uint64_t trace_ctx = 0;
   };
 
   void on_backend_event(BackendEvent ev);
@@ -228,6 +235,14 @@ class ThreadCtx {
 
   // local computation time
   [[nodiscard]] sim::Task<void> delay(sim::Duration d);
+
+  // ---- causal tracing --------------------------------------------------
+  // Joins this thread's future calls to an existing causal chain (0
+  // reverts to fresh TraceIds per call).  Contexts do not survive
+  // co_await boundaries implicitly; this is the explicit propagation
+  // point for multi-hop chains (see examples/pipeline.cpp).
+  void set_trace_context(std::uint64_t t);
+  [[nodiscard]] std::uint64_t trace_context() const;
 
  private:
   void check_abort();

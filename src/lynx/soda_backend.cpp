@@ -201,6 +201,7 @@ std::unique_ptr<PendingSend> SodaBackend::begin_send(BLink token,
   out.link = token;
   out.kind = msg.kind;
   out.ps = ps.get();
+  out.trace = msg.trace_id;
   std::vector<std::array<std::uint64_t, 3>> encs;
   for (BLink e : msg.enclosures) {
     SLink* rec = find(e);
@@ -237,7 +238,7 @@ sim::Task<> SodaBackend::issue_send(std::uint64_t out_id) {
   ++requests_issued_;
   ++stats_.requests_issued;
   auto req = co_await network_->kernel_of(pid_).request(
-      pid_, link->peer_hint, link->peer_name, oob, out.data, 0);
+      pid_, link->peer_hint, link->peer_name, oob, out.data, 0, out.trace);
   auto it2 = outs_.find(out_id);
   if (it2 == outs_.end()) co_return;
   if (!req.ok()) {
@@ -331,14 +332,15 @@ void SodaBackend::on_request(const soda::RequestInterrupt& r) {
           return;
         }
         // Replies are always wanted: accept at once.
-        network_->engine().spawn("soda-reply-accept",
-                                 accept_reply(link->token, r.request));
+        network_->engine().spawn(
+            "soda-reply-accept",
+            accept_reply(link->token, r.request, r.trace));
         return;
       }
       // LYNX request: PARK until the runtime wants it — screening by
       // (not) accepting, the whole point of lesson two.
-      parked_.emplace(r.request,
-                      ParkedInfo{link->token, op, r.from, r.send_bytes});
+      parked_.emplace(r.request, ParkedInfo{link->token, op, r.from,
+                                            r.send_bytes, r.trace});
       link->parked_requests.push_back(r.request);
       maybe_accept_parked(*link);
       return;
@@ -671,33 +673,38 @@ void SodaBackend::maybe_accept_parked(SLink& link) {
   while (!link.parked_requests.empty()) {
     const soda::ReqId req = link.parked_requests.front();
     link.parked_requests.pop_front();
-    if (parked_.erase(req) == 0) continue;  // cancelled meanwhile
-    network_->engine().spawn("soda-accept",
-                             accept_parked_request(link.token, req));
+    auto pit = parked_.find(req);
+    if (pit == parked_.end()) continue;  // cancelled meanwhile
+    const std::uint64_t trace = pit->second.trace;
+    parked_.erase(pit);
+    network_->engine().spawn(
+        "soda-accept", accept_parked_request(link.token, req, trace));
   }
 }
 
-sim::Task<> SodaBackend::accept_parked_request(BLink token,
-                                               soda::ReqId req) {
+sim::Task<> SodaBackend::accept_parked_request(BLink token, soda::ReqId req,
+                                               std::uint64_t trace) {
   auto taken = co_await network_->kernel_of(pid_).accept(
       pid_, req, soda::Oob{static_cast<std::uint32_t>(Oop::kAcceptOk), 0},
       {}, kBigBuffer);
   SLink* link = find(token);
   if (!taken.ok() || link == nullptr) co_return;
-  co_await deliver(*link, MsgKind::kRequest, taken.value());
+  co_await deliver(*link, MsgKind::kRequest, taken.value(), trace);
 }
 
-sim::Task<> SodaBackend::accept_reply(BLink token, soda::ReqId req) {
+sim::Task<> SodaBackend::accept_reply(BLink token, soda::ReqId req,
+                                      std::uint64_t trace) {
   auto taken = co_await network_->kernel_of(pid_).accept(
       pid_, req, soda::Oob{static_cast<std::uint32_t>(Oop::kAcceptOk), 0},
       {}, kBigBuffer);
   SLink* link = find(token);
   if (!taken.ok() || link == nullptr) co_return;
-  co_await deliver(*link, MsgKind::kReply, taken.value());
+  co_await deliver(*link, MsgKind::kReply, taken.value(), trace);
 }
 
 sim::Task<> SodaBackend::deliver(SLink& link, MsgKind kind,
-                                 const soda::Payload& raw) {
+                                 const soda::Payload& raw,
+                                 std::uint64_t trace) {
   DecodedPut decoded = decode_put(raw);
   std::vector<BLink> enclosures;
   soda::Kernel& k = network_->kernel_of(pid_);
@@ -718,6 +725,7 @@ sim::Task<> SodaBackend::deliver(SLink& link, MsgKind kind,
   ev.link = link.token;
   ev.body = std::move(decoded.body);
   ev.enclosures = std::move(enclosures);
+  ev.trace = trace;
   if (sink_) sink_(ev);
 }
 

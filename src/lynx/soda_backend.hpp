@@ -83,6 +83,9 @@ class SodaBackend final : public Backend {
   [[nodiscard]] std::uint64_t protocol_messages() const override {
     return requests_issued_;
   }
+  [[nodiscard]] std::uint32_t trace_node() const override {
+    return node_.value();
+  }
 
   [[nodiscard]] soda::Pid pid() const { return pid_; }
 
@@ -142,6 +145,7 @@ class SodaBackend final : public Backend {
     Oop kind = Oop::kRequestMsg;
     soda::Pid from;
     std::size_t send_bytes = 0;
+    std::uint64_t trace = 0;  // causal identity from the RequestInterrupt
   };
 
   struct OutSend {
@@ -155,6 +159,7 @@ class SodaBackend final : public Backend {
     SodaPendingSend* ps = nullptr;
     bool cancel_requested = false;
     int reroutes = 0;
+    std::uint64_t trace = 0;       // causal identity from the WireMessage
   };
 
   struct FreezeCollector {
@@ -172,9 +177,10 @@ class SodaBackend final : public Backend {
   void resolve_out(std::uint64_t out_id, SendOutcome outcome);
   void request_cancel(std::uint64_t out_id);
   [[nodiscard]] sim::Task<> issue_cancel(std::uint64_t out_id);
-  [[nodiscard]] sim::Task<> accept_parked_request(BLink token,
-                                                  soda::ReqId req);
-  [[nodiscard]] sim::Task<> accept_reply(BLink token, soda::ReqId req);
+  [[nodiscard]] sim::Task<> accept_parked_request(BLink token, soda::ReqId req,
+                                                  std::uint64_t trace);
+  [[nodiscard]] sim::Task<> accept_reply(BLink token, soda::ReqId req,
+                                         std::uint64_t trace);
   [[nodiscard]] sim::Task<> accept_with(soda::ReqId req, Oop code,
                                         std::uint64_t word1);
   [[nodiscard]] sim::Task<> answer_freeze(soda::ReqId req, soda::Pid from);
@@ -189,7 +195,8 @@ class SodaBackend final : public Backend {
                                          std::vector<BLink> moved,
                                          soda::Pid new_owner);
   [[nodiscard]] sim::Task<> deliver(SLink& link, MsgKind kind,
-                                    const soda::Payload& raw);
+                                    const soda::Payload& raw,
+                                    std::uint64_t trace);
   [[nodiscard]] sim::Task<> perform_destroy(BLink token);
   [[nodiscard]] sim::Task<> perform_shutdown();
   [[nodiscard]] sim::Task<> post_signal(BLink token);

@@ -34,6 +34,11 @@ struct Frame {
   // Set by fault injection; a receiver-side checksum would reject the
   // frame, so impaired media discard marked frames at the boundary.
   bool corrupted = false;
+  // Causal identity of the RPC this frame serves (trace::TraceId; 0 =
+  // untraced).  Stamped by the sending kernel so trace sinks and fault
+  // observers can follow one operation across nodes, retransmits
+  // included.
+  std::uint64_t trace_id = 0;
 
   template <typename T>
   [[nodiscard]] const T& as() const {

@@ -2,6 +2,8 @@
 
 #include <ostream>
 
+#include "trace/trace.hpp"
+
 namespace sim {
 
 Engine::~Engine() {
@@ -120,6 +122,9 @@ void Engine::spawn(std::string name, Task<> body) {
 }
 
 void Engine::trace(const char* category, const std::string& message) {
+  // Re-routed through the structured recorder: the legacy ostream form
+  // stays available (here, and via trace::render_text over the stream).
+  if (auto* rec = trace::get(*this)) rec->text(0, category, message);
   if (!trace_os_) return;
   *trace_os_ << "[" << to_usec(now_) << "us] " << category << ": " << message
              << "\n";

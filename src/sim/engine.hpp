@@ -24,6 +24,10 @@
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
+namespace trace {
+class Recorder;  // structured event recorder (src/trace/)
+}  // namespace trace
+
 namespace sim {
 
 class Engine;
@@ -104,9 +108,20 @@ class Engine {
   }
 
   // -- tracing -----------------------------------------------------------
+  // Legacy unstructured hook.  Messages are routed into the structured
+  // recorder when one is attached (as kText records, exportable and
+  // digested like everything else) and still mirrored to the ostream.
   void set_trace(std::ostream* os) { trace_os_ = os; }
-  [[nodiscard]] bool tracing() const { return trace_os_ != nullptr; }
+  [[nodiscard]] bool tracing() const {
+    return trace_os_ != nullptr || recorder_ != nullptr;
+  }
   void trace(const char* category, const std::string& message);
+
+  // Structured recorder attachment (normally done by the Recorder's own
+  // constructor/destructor).  The engine never dereferences the pointer
+  // except through trace::get, which also checks the runtime enable.
+  void set_recorder(trace::Recorder* rec) { recorder_ = rec; }
+  [[nodiscard]] trace::Recorder* recorder() const { return recorder_; }
 
  private:
   struct Event {
@@ -155,6 +170,7 @@ class Engine {
   std::unordered_map<std::uint64_t, std::coroutine_handle<>> roots_;
   std::vector<std::string> failures_;
   std::ostream* trace_os_ = nullptr;
+  trace::Recorder* recorder_ = nullptr;
 };
 
 inline void TimerHandle::cancel() {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/trace.hpp"
+
 namespace soda {
 
 // ===================== Network =====================
@@ -75,9 +77,16 @@ Kernel::Kernel(Network& network, net::NodeId node)
                             [this](const net::Frame& f) { on_frame(f); });
 }
 
-void Kernel::transmit(net::NodeId dst, WireFrame frame, std::size_t bytes) {
+void Kernel::transmit(net::NodeId dst, WireFrame frame, std::size_t bytes,
+                      std::uint64_t trace) {
   ++frames_out_;
-  network_->medium().send(net::Frame{node_, dst, bytes, std::move(frame)});
+  if (auto* rec = trace::get(network_->engine())) {
+    rec->instant(node_.value(), "wire", "frame.tx", trace, frame.index(),
+                 bytes);
+  }
+  net::Frame out{node_, dst, bytes, std::move(frame)};
+  out.trace_id = trace;
+  network_->medium().send(std::move(out));
 }
 
 bool Kernel::acks_enabled() const {
@@ -93,6 +102,10 @@ void Kernel::on_frame(const net::Frame& frame) {
   } else if (const auto* af = std::get_if<AcceptFrag>(&wf)) {
     cost += network_->costs().per_byte_copy *
             static_cast<sim::Duration>(af->data.size());
+  }
+  if (auto* rec = trace::get(network_->engine())) {
+    rec->instant(node_.value(), "wire", "frame.rx", frame.trace_id, frame.id,
+                 frame.payload_bytes);
   }
   network_->engine().schedule(cost, [this, wf, src = frame.src] {
     std::visit([this, src](const auto& m) { handle(m, src); }, wf);
@@ -209,8 +222,9 @@ void Kernel::send_request_frags(const Outstanding& out,
                  out.name, out.oob,       out.data.size(),
                  out.recv_limit, i,       frag_count,
                  Payload(out.data.begin() + static_cast<std::ptrdiff_t>(lo),
-                         out.data.begin() + static_cast<std::ptrdiff_t>(hi))};
-    transmit(out.target_node, std::move(frag), 24 + (hi - lo));
+                         out.data.begin() + static_cast<std::ptrdiff_t>(hi)),
+                 out.trace};
+    transmit(out.target_node, std::move(frag), 24 + (hi - lo), out.trace);
   }
 }
 
@@ -227,8 +241,9 @@ void Kernel::send_accept_frags(const PendingAccept& pa,
     AcceptFrag frag{pa.req, pa.oob, pa.delivered, pa.reply_total, i,
                     frag_count,
                     Payload(pa.reply.begin() + static_cast<std::ptrdiff_t>(lo),
-                            pa.reply.begin() + static_cast<std::ptrdiff_t>(hi))};
-    transmit(pa.dst, std::move(frag), 24 + (hi - lo));
+                            pa.reply.begin() + static_cast<std::ptrdiff_t>(hi)),
+                    pa.trace};
+    transmit(pa.dst, std::move(frag), 24 + (hi - lo), pa.trace);
   }
 }
 
@@ -289,6 +304,10 @@ void Kernel::on_transport_timeout(ReqId req) {
   }
   ++ts.attempts;
   ++retries_;
+  if (auto* rec = trace::get(network_->engine())) {
+    rec->instant(node_.value(), "kernel", "req.retransmit", it->second.trace,
+                 req.value(), static_cast<std::uint64_t>(ts.attempts));
+  }
   send_request_frags(it->second, &ts.acked);
   arm_transport_timer(req);
 }
@@ -308,12 +327,16 @@ void Kernel::on_accept_timeout(ReqId req) {
     // We accepted but cannot reach the requester.  Best effort: tell it
     // the rendezvous failed (the note itself may be lost; the requester
     // side then never learns, which is exactly SODA's failure mode).
-    transmit(pa.dst, CrashNote{pa.req, Pid::invalid()}, 16);
+    transmit(pa.dst, CrashNote{pa.req, Pid::invalid()}, 16, pa.trace);
     pending_accepts_.erase(it);
     return;
   }
   ++pa.attempts;
   ++retries_;
+  if (auto* rec = trace::get(network_->engine())) {
+    rec->instant(node_.value(), "kernel", "accept.retransmit", pa.trace,
+                 req.value(), static_cast<std::uint64_t>(pa.attempts));
+  }
   send_accept_frags(pa, &pa.acked);
   arm_accept_timer(req);
 }
@@ -340,7 +363,8 @@ void Kernel::handle(const AcceptAck& f, net::NodeId /*from*/) {
 
 sim::Task<Result<ReqId>> Kernel::request(Pid caller, Pid target, Name name,
                                          Oob oob, Payload send_data,
-                                         std::size_t recv_limit) {
+                                         std::size_t recv_limit,
+                                         std::uint64_t trace) {
   const Costs& costs = network_->costs();
   const std::size_t len = send_data.size();
   const std::size_t mtu = costs.mtu_bytes;
@@ -362,7 +386,7 @@ sim::Task<Result<ReqId>> Kernel::request(Pid caller, Pid target, Name name,
 
   const ReqId id = network_->new_req();
   Outstanding out{id,   caller, target, network_->node_of(target),
-                  name, oob,    std::move(send_data), recv_limit, 0};
+                  name, oob,    std::move(send_data), recv_limit, 0, trace};
   send_request_frags(out);
   const auto frag_count = static_cast<std::size_t>(frags);
   outstanding_.emplace(id, std::move(out));
@@ -376,6 +400,12 @@ sim::Task<Result<ReqId>> Kernel::request(Pid caller, Pid target, Name name,
 
 void Kernel::schedule_retry(ReqId req) {
   ++retries_;
+  if (auto it = outstanding_.find(req); it != outstanding_.end()) {
+    if (auto* rec = trace::get(network_->engine())) {
+      rec->instant(node_.value(), "kernel", "req.retry", it->second.trace,
+                   req.value(), static_cast<std::uint64_t>(it->second.attempts));
+    }
+  }
   network_->engine().schedule(network_->costs().retry_interval,
                               [this, req] {
                                 auto it = outstanding_.find(req);
@@ -386,7 +416,7 @@ void Kernel::schedule_retry(ReqId req) {
 
 void Kernel::park_and_interrupt(ParkedRequest parked) {
   RequestInterrupt intr{parked.id, parked.from, parked.name, parked.oob,
-                        parked.data.size(), parked.recv_limit};
+                        parked.data.size(), parked.recv_limit, parked.trace};
   const Pid target = parked.target;
   parked_.emplace(parked.id, std::move(parked));
   raise(target, intr);
@@ -428,7 +458,8 @@ sim::Task<Result<Payload>> Kernel::accept(Pid caller, ReqId request, Oob oob,
                    std::move(reply_data),
                    std::vector<bool>(frag_count),
                    1,
-                   {}};
+                   {},
+                   parked.trace};
   send_accept_frags(pa);
   note_done(request);
   if (acks_enabled()) {
@@ -445,7 +476,7 @@ void Kernel::handle(const ReqFrag& f, net::NodeId from) {
   // (a retransmission raced the accept).  Re-ack — the first ack may
   // have been lost — but don't park twice.
   if (parked_.contains(f.req) || done_set_.contains(f.req)) {
-    if (acks_enabled()) transmit(from, ReqAck{f.req, f.frag_index}, 8);
+    if (acks_enabled()) transmit(from, ReqAck{f.req, f.frag_index}, 8, f.trace);
     return;
   }
 
@@ -462,7 +493,9 @@ void Kernel::handle(const ReqFrag& f, net::NodeId from) {
     if (r.have.empty()) r.have.resize(f.frag_count, false);
     if (f.frag_index >= r.have.size()) return;
     if (r.have[f.frag_index]) {
-      if (acks_enabled()) transmit(from, ReqAck{f.req, f.frag_index}, 8);
+      if (acks_enabled()) {
+        transmit(from, ReqAck{f.req, f.frag_index}, 8, f.trace);
+      }
       return;
     }
     r.have[f.frag_index] = true;
@@ -471,7 +504,9 @@ void Kernel::handle(const ReqFrag& f, net::NodeId from) {
     std::copy(f.data.begin(), f.data.end(),
               r.data.begin() + static_cast<std::ptrdiff_t>(lo));
     if (++r.seen < f.frag_count) {
-      if (acks_enabled()) transmit(from, ReqAck{f.req, f.frag_index}, 8);
+      if (acks_enabled()) {
+        transmit(from, ReqAck{f.req, f.frag_index}, 8, f.trace);
+      }
       return;
     }
   }
@@ -487,7 +522,7 @@ void Kernel::handle(const ReqFrag& f, net::NodeId from) {
         --it->second.seen;
       }
     }
-    transmit(from, ReqNack{f.req, reason}, 12);
+    transmit(from, ReqNack{f.req, reason}, 12, f.trace);
   };
   if (!processes_.contains(f.target)) {
     nack(NackReason::kDead);
@@ -503,7 +538,7 @@ void Kernel::handle(const ReqFrag& f, net::NodeId from) {
     return;
   }
 
-  if (acks_enabled()) transmit(from, ReqAck{f.req, f.frag_index}, 8);
+  if (acks_enabled()) transmit(from, ReqAck{f.req, f.frag_index}, 8, f.trace);
   Payload data;
   if (f.frag_count > 1) {
     data = std::move(req_reassembly_[f.req].data);
@@ -513,7 +548,7 @@ void Kernel::handle(const ReqFrag& f, net::NodeId from) {
   }
   park_and_interrupt(ParkedRequest{f.req, f.from, from, f.target, f.name,
                                    f.oob, std::move(data), f.send_total,
-                                   f.recv_limit});
+                                   f.recv_limit, f.trace});
 }
 
 void Kernel::handle(const ReqNack& f, net::NodeId /*from*/) {
@@ -550,7 +585,9 @@ void Kernel::handle(const ReqNack& f, net::NodeId /*from*/) {
 void Kernel::handle(const AcceptFrag& f, net::NodeId from) {
   // Ack even when the request is already resolved here: the accepter
   // may be retransmitting because *its* acks were lost.
-  if (acks_enabled()) transmit(from, AcceptAck{f.req, f.frag_index}, 8);
+  if (acks_enabled()) {
+    transmit(from, AcceptAck{f.req, f.frag_index}, 8, f.trace);
+  }
   auto it = outstanding_.find(f.req);
   if (it == outstanding_.end()) return;
 
@@ -574,7 +611,8 @@ void Kernel::handle(const AcceptFrag& f, net::NodeId from) {
 
   Outstanding& out = it->second;
   if (data.size() > out.recv_limit) data.resize(out.recv_limit);
-  CompletionInterrupt intr{f.req, f.oob, std::move(data), f.delivered};
+  CompletionInterrupt intr{f.req, f.oob, std::move(data), f.delivered,
+                           f.trace};
   const Pid from_pid = out.from;
   per_pair_[pair_key(out.from, out.target)]--;
   outstanding_.erase(it);

@@ -56,11 +56,14 @@ class Kernel {
   [[nodiscard]] sim::Task<std::optional<Pid>> discover(Pid caller, Name name);
 
   // Non-blocking: returns the request id; outcome arrives as a
-  // CompletionInterrupt / CrashInterrupt / RejectInterrupt.
+  // CompletionInterrupt / CrashInterrupt / RejectInterrupt.  `trace` is
+  // the causal identity of the RPC (rides every fragment, NACK retry,
+  // and the completion) — 0 for untraced traffic.
   [[nodiscard]] sim::Task<Result<ReqId>> request(Pid caller, Pid target,
                                                  Name name, Oob oob,
                                                  Payload send_data,
-                                                 std::size_t recv_limit);
+                                                 std::size_t recv_limit,
+                                                 std::uint64_t trace = 0);
 
   // Accept a previously-signalled request: returns the requester's
   // parked data (truncated to recv_limit) and queues the reply leg.
@@ -96,6 +99,7 @@ class Kernel {
     Payload data;
     std::size_t send_total = 0;
     std::size_t recv_limit = 0;
+    std::uint64_t trace = 0;
   };
   struct Outstanding {  // at the requester kernel
     ReqId id;
@@ -107,6 +111,7 @@ class Kernel {
     Payload data;
     std::size_t recv_limit = 0;
     int attempts = 0;
+    std::uint64_t trace = 0;
   };
   struct Reassembly {
     std::uint32_t expected = 0;
@@ -131,6 +136,7 @@ class Kernel {
     std::vector<bool> acked;  // per accept fragment
     int attempts = 1;
     sim::TimerHandle timer;
+    std::uint64_t trace = 0;
   };
   struct DiscoverWait {
     // Non-owning: the OneShot lives in the discover() coroutine frame,
@@ -152,6 +158,7 @@ class Kernel {
     std::uint32_t frag_index = 0;
     std::uint32_t frag_count = 1;
     Payload data;
+    std::uint64_t trace = 0;
   };
   enum class NackReason : std::uint8_t { kClosed, kNoName, kDead };
   struct ReqNack {
@@ -166,6 +173,7 @@ class Kernel {
     std::uint32_t frag_index = 0;
     std::uint32_t frag_count = 1;
     Payload data;
+    std::uint64_t trace = 0;
   };
   struct CrashNote {
     ReqId req;
@@ -204,7 +212,10 @@ class Kernel {
   void handle(const ReqAck& f, net::NodeId from);
   void handle(const AcceptAck& f, net::NodeId from);
 
-  void transmit(net::NodeId dst, WireFrame frame, std::size_t bytes);
+  // `trace` stamps the outgoing net::Frame (and the frame.tx record);
+  // pass the fragment's trace where one exists, 0 for protocol frames.
+  void transmit(net::NodeId dst, WireFrame frame, std::size_t bytes,
+                std::uint64_t trace = 0);
   // skip[i] == true suppresses fragment i (already acknowledged).
   void send_request_frags(const Outstanding& out,
                           const std::vector<bool>* skip = nullptr);

@@ -88,6 +88,9 @@ struct RequestInterrupt {
   Oob oob{};
   std::size_t send_bytes = 0;  // what the requester wants to send
   std::size_t recv_bytes = 0;  // what the requester is willing to receive
+  // Causal identity carried by the request (trace::TraceId, 0 =
+  // untraced) — lets the accepter's runtime continue the chain.
+  std::uint64_t trace = 0;
 };
 
 // The requester feels this when its request is accepted.
@@ -96,6 +99,7 @@ struct CompletionInterrupt {
   Oob oob{};          // out-of-band from the accepter
   Payload data;       // what the accepter sent back (<= our recv limit)
   std::size_t delivered = 0;  // how much of our send the accepter took
+  std::uint64_t trace = 0;    // inherited from the original request
 };
 
 // The requester feels this when the target dies before accepting.

@@ -1,0 +1,26 @@
+// Chrome trace-event JSON export (loadable in Perfetto / about:tracing).
+//
+// Spans are exported as "X" complete events, paired by span id at export
+// time rather than as B/E pairs: interleaved coroutines on one simulated
+// node routinely violate the per-thread begin/end nesting that B/E
+// requires, while X events carry their own duration.  Layout: pid = the
+// simulated node (named via "M" metadata), tid = the interned track
+// ("runtime", "backend", "kernel", "wire", "fault", ...), ts/dur in
+// microseconds of simulated time.  The TraceId rides in args.trace so
+// one RPC can be followed across every node of the timeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace trace {
+
+void write_chrome_trace(const Recorder& rec, std::ostream& os);
+
+// Convenience: write to `path`; returns false (and writes nothing) if
+// the file cannot be opened.
+bool write_chrome_trace_file(const Recorder& rec, const std::string& path);
+
+}  // namespace trace

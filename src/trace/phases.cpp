@@ -1,0 +1,60 @@
+#include "trace/phases.hpp"
+
+#include <unordered_map>
+
+namespace trace {
+
+PhaseTable::PhaseTable(const Recorder& rec, TraceId filter) {
+  std::unordered_map<SpanId, const Record*> open;
+  std::unordered_map<std::string, std::size_t> index;
+  for (const Record& r : rec.snapshot()) {
+    if (r.kind == Kind::kSpanBegin) {
+      if (filter == 0 || r.trace == filter) open.emplace(r.span, &r);
+    } else if (r.kind == Kind::kSpanEnd) {
+      auto it = open.find(r.span);
+      if (it == open.end()) continue;
+      const Record& b = *it->second;
+      const std::string& label = rec.label_name(b.label);
+      auto [slot, fresh] = index.emplace(label, rows_.size());
+      if (fresh) rows_.push_back(PhaseRow{label, 0, 0.0});
+      PhaseRow& row = rows_[slot->second];
+      ++row.count;
+      row.total_ms += sim::to_msec(r.at - b.at);
+      open.erase(it);
+    }
+  }
+}
+
+const PhaseRow* PhaseTable::find(std::string_view label) const {
+  for (const PhaseRow& row : rows_) {
+    if (row.label == label) return &row;
+  }
+  return nullptr;
+}
+
+std::uint64_t PhaseTable::count(std::string_view label) const {
+  const PhaseRow* row = find(label);
+  return row == nullptr ? 0 : row->count;
+}
+
+double PhaseTable::total_ms(std::string_view label) const {
+  const PhaseRow* row = find(label);
+  return row == nullptr ? 0.0 : row->total_ms;
+}
+
+double PhaseTable::mean_ms(std::string_view label) const {
+  const PhaseRow* row = find(label);
+  return row == nullptr ? 0.0 : row->mean_ms();
+}
+
+void PhaseTable::print(FILE* out) const {
+  std::fprintf(out, "%-28s %8s %12s %12s\n", "phase", "count", "total ms",
+               "mean ms");
+  for (const PhaseRow& row : rows_) {
+    std::fprintf(out, "%-28s %8llu %12.3f %12.3f\n", row.label.c_str(),
+                 static_cast<unsigned long long>(row.count), row.total_ms,
+                 row.mean_ms());
+  }
+}
+
+}  // namespace trace

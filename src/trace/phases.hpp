@@ -1,0 +1,47 @@
+// Per-phase latency decomposition from trace spans.
+//
+// The paper's headline tables (E3/E5/E7) are decompositions of one RPC
+// into phases — gather, kernel send, wire, wait, scatter.  PhaseTable
+// pairs span begin/end records and aggregates durations by span label,
+// so those tables fall straight out of the recorded stream instead of
+// ad-hoc timers.  Filter by TraceId to decompose a single causal chain,
+// or leave 0 to aggregate everything.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace trace {
+
+struct PhaseRow {
+  std::string label;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  [[nodiscard]] double mean_ms() const {
+    return count == 0 ? 0.0 : total_ms / static_cast<double>(count);
+  }
+};
+
+class PhaseTable {
+ public:
+  // Aggregates all paired spans in `rec`; when `filter` is nonzero only
+  // spans carrying that TraceId contribute.
+  explicit PhaseTable(const Recorder& rec, TraceId filter = 0);
+
+  [[nodiscard]] const std::vector<PhaseRow>& rows() const { return rows_; }
+  [[nodiscard]] std::uint64_t count(std::string_view label) const;
+  [[nodiscard]] double total_ms(std::string_view label) const;
+  [[nodiscard]] double mean_ms(std::string_view label) const;
+
+  void print(FILE* out = stdout) const;
+
+ private:
+  [[nodiscard]] const PhaseRow* find(std::string_view label) const;
+  std::vector<PhaseRow> rows_;  // in first-seen order
+};
+
+}  // namespace trace

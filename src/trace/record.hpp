@@ -1,0 +1,64 @@
+// The fixed-size structured trace record (modelled on Motr's addb2).
+//
+// Every observable step of an RPC — runtime phases, kernel frames,
+// fault injections, legacy text traces — is one 64-byte POD appended to
+// a per-node ring.  Records never hold host pointers or host time, only
+// simulated time and small interned indices, so the stream for a run is
+// a pure function of (seed, plan, workload) and can be digested for
+// determinism checks exactly like `fault::digest()`.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace trace {
+
+// A causal identity threaded through one RPC end to end: allocated by
+// the client runtime, carried in the wire frames, reused by the server
+// for its reply.  0 means "untraced".
+using TraceId = std::uint64_t;
+
+// Pairs a kSpanBegin with its kSpanEnd.  0 is never a live span.
+using SpanId = std::uint64_t;
+
+enum class Kind : std::uint8_t {
+  kSpanBegin,  // span = id, a/b = extra args
+  kSpanEnd,    // span = id
+  kInstant,    // point event
+  kText,       // legacy category/message; message in the side table
+  kCtxPush,    // dim + a = value
+  kCtxPop,     // closes the innermost push
+};
+
+// Context-stack dimensions, outermost first by convention.
+enum class Dim : std::uint8_t {
+  kNone = 0,
+  kNode,
+  kProcess,
+  kThread,
+  kLink,
+  kRpc,
+};
+
+[[nodiscard]] const char* to_string(Kind kind);
+[[nodiscard]] const char* to_string(Dim dim);
+
+struct Record {
+  sim::Time at = 0;          // simulated time of emission
+  Kind kind{};
+  Dim dim = Dim::kNone;      // kCtxPush/kCtxPop only
+  std::uint16_t label = 0;   // interned label (span/instant name, category)
+  std::uint32_t node = 0;    // emitting node
+  std::uint32_t track = 0;   // interned track within the node
+  std::uint32_t pad = 0;
+  SpanId span = 0;           // kSpanBegin/kSpanEnd pairing key
+  TraceId trace = 0;         // causal identity, 0 if untraced
+  std::uint64_t a = 0;       // event-specific payload (frame id, bytes, ...)
+  std::uint64_t b = 0;
+  std::uint64_t seq = 0;     // global emission order across all rings
+};
+
+static_assert(sizeof(Record) == 64, "records are fixed-size by design");
+
+}  // namespace trace

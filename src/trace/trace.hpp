@@ -1,0 +1,209 @@
+// The structured event recorder (the repo's "observability before
+// scale" subsystem).
+//
+// One Recorder per Engine.  Instrumentation sites go through the
+// trace::get(engine) gate, which costs one pointer load and one branch
+// when recording is compiled in but disabled, and is constant-folded
+// away entirely when RELYNX_TRACE_ENABLED is 0:
+//
+//   if (auto* r = trace::get(engine)) {
+//     r->instant(node, "wire", "frame.tx", msg.trace, frame_id, bytes);
+//   }
+//
+// Storage is a fixed-capacity overwriting ring of 64-byte records per
+// node (allocated lazily — a disabled recorder allocates nothing).  The
+// determinism digest is folded record-by-record AT EMISSION TIME, so it
+// covers the full event stream even after old records have been
+// overwritten: same (seed, plan, workload) => same digest, mirroring
+// fault::digest().
+//
+// The context stack (node/process/thread/link/rpc, addb2-style) brackets
+// synchronous scopes with kCtxPush/kCtxPop records, making the stream
+// self-describing.  It is NOT valid across a co_await — a coroutine that
+// suspends mid-scope would interleave with others — so causal identity
+// across suspension points travels as an explicit TraceId instead.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "trace/record.hpp"
+
+#ifndef RELYNX_TRACE_ENABLED
+#define RELYNX_TRACE_ENABLED 1
+#endif
+
+namespace trace {
+
+class Recorder {
+ public:
+  // Attaches itself to the engine (and detaches on destruction) so
+  // instrumentation sites can reach it via trace::get(engine).
+  explicit Recorder(sim::Engine& engine,
+                    std::size_t ring_capacity = 1u << 15);
+  ~Recorder();
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  // ---- causal identity ------------------------------------------------
+  [[nodiscard]] TraceId new_trace() { return ++next_trace_; }
+
+  // ---- emission -------------------------------------------------------
+  [[nodiscard]] SpanId begin_span(std::uint32_t node, const char* track,
+                                  const char* label, TraceId trace,
+                                  std::uint64_t a = 0, std::uint64_t b = 0);
+  void end_span(std::uint32_t node, SpanId span);
+  void instant(std::uint32_t node, const char* track, const char* label,
+               TraceId trace, std::uint64_t a = 0, std::uint64_t b = 0);
+  // Legacy sim::Engine::trace(category, message) lands here.
+  void text(std::uint32_t node, const char* category,
+            std::string_view message);
+
+  // ---- context stack (synchronous scopes only) ------------------------
+  void push_context(Dim dim, std::uint64_t value);
+  void pop_context();
+  [[nodiscard]] std::size_t context_depth() const { return ctx_.size(); }
+
+  // ---- interning ------------------------------------------------------
+  [[nodiscard]] std::uint16_t intern_label(std::string_view name);
+  [[nodiscard]] std::uint32_t intern_track(std::string_view name);
+  [[nodiscard]] const std::string& label_name(std::uint16_t id) const {
+    return labels_[id];
+  }
+  [[nodiscard]] const std::string& track_name(std::uint32_t id) const {
+    return tracks_[id];
+  }
+  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
+
+  // ---- inspection -----------------------------------------------------
+  // All retained records, merged across rings, in emission order.
+  [[nodiscard]] std::vector<Record> snapshot() const;
+  // Message body of a kText record (by its seq), or nullptr if evicted.
+  [[nodiscard]] const std::string* text_of(std::uint64_t seq) const;
+
+  [[nodiscard]] std::uint64_t total_emitted() const { return emitted_; }
+  [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
+  [[nodiscard]] std::size_t retained() const;
+  // Ring slots currently allocated across all nodes (0 while disabled:
+  // the zero-allocation contract is tested).
+  [[nodiscard]] std::size_t allocated_slots() const;
+  [[nodiscard]] std::size_t ring_capacity() const { return capacity_; }
+
+  // Order-sensitive FNV-1a over every record (and interned name / text
+  // byte) ever emitted.  kEmptyDigest until the first record.
+  [[nodiscard]] std::uint64_t digest() const { return digest_; }
+  static constexpr std::uint64_t kEmptyDigest = 14695981039346656037ull;
+
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+
+ private:
+  struct Ring {
+    std::vector<Record> slots;  // grows to capacity, then wraps
+    std::size_t head = 0;       // next overwrite position once full
+  };
+
+  void emit(Record rec);
+  void fold(std::uint64_t v);
+  void fold_bytes(std::string_view bytes);
+
+  sim::Engine* engine_;
+  std::size_t capacity_;
+  bool enabled_ = true;
+  bool attached_ = false;
+
+  std::unordered_map<std::uint32_t, Ring> rings_;
+  std::vector<std::string> labels_;
+  std::vector<std::string> tracks_;
+  std::unordered_map<std::string, std::uint16_t> label_ids_;
+  std::unordered_map<std::string, std::uint32_t> track_ids_;
+  std::unordered_map<std::uint64_t, std::string> texts_;  // seq -> message
+  std::vector<std::pair<Dim, std::uint64_t>> ctx_;
+
+  TraceId next_trace_ = 0;
+  SpanId next_span_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t overwritten_ = 0;
+  std::uint64_t digest_ = kEmptyDigest;
+};
+
+// RAII span for scopes that may exit by exception or early co_return.
+// Safe across co_await (the frame owns it); end() is idempotent.
+class SpanScope {
+ public:
+  SpanScope() = default;
+  SpanScope(Recorder* rec, std::uint32_t node, const char* track,
+            const char* label, TraceId trace, std::uint64_t a = 0,
+            std::uint64_t b = 0)
+      : rec_(rec), node_(node) {
+    if (rec_ != nullptr) span_ = rec_->begin_span(node, track, label, trace, a, b);
+  }
+  SpanScope(SpanScope&& other) noexcept { *this = std::move(other); }
+  SpanScope& operator=(SpanScope&& other) noexcept {
+    end();
+    rec_ = other.rec_;
+    node_ = other.node_;
+    span_ = other.span_;
+    other.rec_ = nullptr;
+    return *this;
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  ~SpanScope() { end(); }
+
+  void end() {
+    if (rec_ != nullptr) {
+      rec_->end_span(node_, span_);
+      rec_ = nullptr;
+    }
+  }
+
+ private:
+  Recorder* rec_ = nullptr;
+  std::uint32_t node_ = 0;
+  SpanId span_ = 0;
+};
+
+// RAII context-stack frame for synchronous scopes.
+class CtxScope {
+ public:
+  CtxScope(Recorder* rec, Dim dim, std::uint64_t value) : rec_(rec) {
+    if (rec_ != nullptr) rec_->push_context(dim, value);
+  }
+  CtxScope(const CtxScope&) = delete;
+  CtxScope& operator=(const CtxScope&) = delete;
+  ~CtxScope() {
+    if (rec_ != nullptr) rec_->pop_context();
+  }
+
+ private:
+  Recorder* rec_;
+};
+
+// The gate every instrumentation site goes through.  Returns nullptr
+// unless recording is compiled in, a recorder is attached, and it is
+// runtime-enabled; with RELYNX_TRACE_ENABLED=0 it is constexpr nullptr
+// and the dependent code folds away.
+#if RELYNX_TRACE_ENABLED
+[[nodiscard]] inline Recorder* get(sim::Engine& engine) {
+  Recorder* rec = engine.recorder();
+  return (rec != nullptr && rec->enabled()) ? rec : nullptr;
+}
+#else
+[[nodiscard]] constexpr Recorder* get(sim::Engine&) { return nullptr; }
+#endif
+
+// Renders retained records back into the legacy "[123us] category:
+// message" text form — the adapter that keeps sim::Engine::set_trace
+// output available from the structured stream.
+void render_text(const Recorder& rec, std::ostream& os);
+
+}  // namespace trace
