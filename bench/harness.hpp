@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -36,6 +37,10 @@ namespace bench {
 //     --trace-out=FILE   benches that support causal tracing write a
 //                        Chrome-trace/Perfetto JSON of one traced run
 //                        (ignored by benches that don't)
+//     --seed=N           master seed for every seeded world/scenario in
+//                        the bench (default 2026), so a specific run —
+//                        one JSON record, one capacity curve — can be
+//                        reproduced without recompiling
 
 inline std::FILE*& json_file() {
   static std::FILE* f = nullptr;
@@ -49,6 +54,10 @@ inline std::string& trace_out_path() {
   static std::string path;
   return path;
 }
+inline std::uint64_t& seed() {
+  static std::uint64_t s = 2026;
+  return s;
+}
 
 inline void init(int* argc, char** argv, const char* name) {
   bench_name() = name;
@@ -57,6 +66,7 @@ inline void init(int* argc, char** argv, const char* name) {
     const std::string arg = argv[i];
     const std::string json_flag = "--json-out=";
     const std::string trace_flag = "--trace-out=";
+    const std::string seed_flag = "--seed=";
     if (arg.rfind(json_flag, 0) == 0) {
       const std::string path = arg.substr(json_flag.size());
       json_file() = std::fopen(path.c_str(), "w");
@@ -65,6 +75,8 @@ inline void init(int* argc, char** argv, const char* name) {
       }
     } else if (arg.rfind(trace_flag, 0) == 0) {
       trace_out_path() = arg.substr(trace_flag.size());
+    } else if (arg.rfind(seed_flag, 0) == 0) {
+      seed() = std::strtoull(arg.substr(seed_flag.size()).c_str(), nullptr, 10);
     } else {
       argv[kept++] = argv[i];
     }
@@ -168,7 +180,7 @@ struct ChrysalisWorld {
 
 struct SodaWorld {
   explicit SodaWorld(lynx::SodaBackendParams bp = {})
-      : network(engine, 6, sim::Rng(2026), quiet_bus()),
+      : network(engine, 6, sim::Rng(bench::seed()), quiet_bus()),
         server(engine, "server",
                lynx::make_soda_backend(network, directory, net::NodeId(0), bp),
                lynx::pdp11_runtime_costs()),

@@ -1,0 +1,82 @@
+#include "load/capacity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "load/runner.hpp"
+
+namespace load {
+namespace {
+
+Report probe(Substrate substrate, const Scenario& base, double rate) {
+  Scenario s = base;
+  s.offered_rate = rate;
+  return run_scenario(substrate, s);
+}
+
+}  // namespace
+
+CapacityResult find_capacity(Substrate substrate, Scenario base,
+                             CapacityParams params) {
+  RELYNX_ASSERT_MSG(base.arrival != Arrival::kClosed,
+                    "capacity search needs an open-loop scenario");
+  RELYNX_ASSERT(params.rate_lo > 0.0 && params.rate_hi >= params.rate_lo);
+  // A healthy open-loop run ends with at most the in-flight window's
+  // worth of pending work; growth beyond that is queueing divergence.
+  const auto slack = static_cast<std::int64_t>(
+      2 * base.clients * base.channels_per_client + 2);
+
+  CapacityResult out;
+  const Report lo_rep = probe(substrate, base, params.rate_lo);
+  out.p99_bound_ms = params.p99_bound_ms > 0.0
+                         ? params.p99_bound_ms
+                         : params.p99_multiplier * std::max(lo_rep.p99_ms, 0.1);
+  auto sustains = [&](const Report& r) {
+    return r.sustainable(out.p99_bound_ms, slack);
+  };
+
+  out.curve.push_back({params.rate_lo, lo_rep, sustains(lo_rep)});
+  if (!out.curve.back().sustainable) return out;  // peak_rate stays 0
+
+  double lo = params.rate_lo;
+  double hi = 0.0;
+  Report best = lo_rep;
+  for (double rate = params.rate_lo * 2.0; rate <= params.rate_hi;
+       rate *= 2.0) {
+    const Report r = probe(substrate, base, rate);
+    const bool ok = sustains(r);
+    out.curve.push_back({rate, r, ok});
+    if (ok) {
+      lo = rate;
+      best = r;
+    } else {
+      hi = rate;
+      break;
+    }
+  }
+  if (hi > 0.0) {
+    for (int i = 0; i < params.refine_iters; ++i) {
+      const double mid = std::sqrt(lo * hi);
+      if (mid <= lo * 1.01 || mid >= hi * 0.99) break;
+      const Report r = probe(substrate, base, mid);
+      const bool ok = sustains(r);
+      out.curve.push_back({mid, r, ok});
+      if (ok) {
+        lo = mid;
+        best = r;
+      } else {
+        hi = mid;
+      }
+    }
+  }
+  out.peak_rate = lo;
+  out.peak_throughput = best.throughput;
+  std::sort(out.curve.begin(), out.curve.end(),
+            [](const RatePoint& a, const RatePoint& b) {
+              return a.rate < b.rate;
+            });
+  return out;
+}
+
+}  // namespace load

@@ -1,0 +1,48 @@
+// Saturation search: how much offered load can a kernel sustain?
+//
+// A rate is "sustainable" when the run completed everything it
+// scheduled within a p99 bound and without its backlog growing over the
+// measure window (Report::sustainable).  find_capacity walks offered
+// rates geometrically until the scenario breaks, then bisects the
+// bracket (in log space) to the knee.  Every probe is a full
+// deterministic run, so the search itself is reproducible.
+#pragma once
+
+#include <vector>
+
+#include "load/fleet.hpp"
+#include "load/report.hpp"
+#include "load/scenario.hpp"
+
+namespace load {
+
+struct CapacityParams {
+  // Absolute p99 bound in ms; 0 derives one from an unloaded probe at
+  // rate_lo: p99_multiplier × its measured p99 (an "acceptably loaded"
+  // tail is a few times the uncontended tail).
+  double p99_bound_ms = 0.0;
+  double p99_multiplier = 5.0;
+  double rate_lo = 2.0;     // must be comfortably sustainable
+  double rate_hi = 2048.0;  // search ceiling, requests/s
+  int refine_iters = 5;     // log-space bisection steps after bracketing
+};
+
+struct RatePoint {
+  double rate = 0.0;
+  Report report;
+  bool sustainable = false;
+};
+
+struct CapacityResult {
+  double peak_rate = 0.0;        // highest sustainable offered rate probed
+  double peak_throughput = 0.0;  // delivered throughput at that rate
+  double p99_bound_ms = 0.0;     // the bound the verdicts used
+  std::vector<RatePoint> curve;  // every probe, sorted by rate
+};
+
+// `base` must use an open-loop arrival process; its offered_rate is
+// overridden per probe.
+[[nodiscard]] CapacityResult find_capacity(Substrate substrate, Scenario base,
+                                           CapacityParams params = {});
+
+}  // namespace load

@@ -1,0 +1,131 @@
+#include "load/fleet.hpp"
+
+#include <string>
+#include <utility>
+
+#include "charlotte/kernel.hpp"
+#include "chrysalis/kernel.hpp"
+#include "common/assert.hpp"
+#include "net/butterfly_switch.hpp"
+#include "net/csma_bus.hpp"
+#include "sim/random.hpp"
+#include "soda/kernel.hpp"
+
+namespace load {
+
+const char* to_string(Substrate s) {
+  switch (s) {
+    case Substrate::kCharlotte: return "charlotte";
+    case Substrate::kSoda: return "soda";
+    case Substrate::kChrysalis: return "chrysalis";
+  }
+  return "?";
+}
+
+std::array<Substrate, 3> all_substrates() {
+  return {Substrate::kCharlotte, Substrate::kSoda, Substrate::kChrysalis};
+}
+
+Fleet::Fleet(Substrate substrate, const Scenario& sc) : substrate_(substrate) {
+  RELYNX_ASSERT(sc.servers >= 1 && sc.clients >= 1);
+  RELYNX_ASSERT(sc.channels_per_client >= 1 && sc.server_threads >= 1);
+  const std::size_t total = sc.servers + sc.clients;
+  switch (substrate_) {
+    case Substrate::kCharlotte:
+      charlotte_cluster_ = std::make_unique<charlotte::Cluster>(engine_, total);
+      break;
+    case Substrate::kSoda: {
+      // A quiet bus: capacity is a property of the kernel interface and
+      // protocol here, not of injected loss (src/fault/ owns that).
+      net::CsmaBusParams p;
+      p.broadcast_drop_prob = 0.0;
+      soda_network_ = std::make_unique<soda::Network>(
+          engine_, total, sim::Rng(sc.seed ^ 0x50da50daULL), p);
+      break;
+    }
+    case Substrate::kChrysalis: {
+      net::ButterflyParams fabric;
+      fabric.nodes = static_cast<std::uint32_t>(total);
+      chrysalis_kernel_ =
+          std::make_unique<chrysalis::Kernel>(engine_, fabric);
+      break;
+    }
+  }
+  for (std::size_t s = 0; s < sc.servers; ++s) {
+    server_procs_.push_back(make_process("server" + std::to_string(s), s));
+  }
+  for (std::size_t i = 0; i < sc.clients; ++i) {
+    client_procs_.push_back(
+        make_process("client" + std::to_string(i), sc.servers + i));
+  }
+  for (auto& p : server_procs_) p->start();
+  for (auto& p : client_procs_) p->start();
+
+  server_inbound_.resize(sc.servers);
+  client_channels_.resize(sc.clients);
+  forward_links_.resize(sc.servers);
+  engine_.spawn("wire", wire(this, sc));
+  engine_.run();  // only bootstrap traffic exists yet
+  for (std::size_t i = 0; i < sc.clients; ++i) {
+    RELYNX_ASSERT_MSG(client_channels_[i].size() == sc.channels_per_client,
+                      "fleet wiring incomplete");
+  }
+}
+
+Fleet::~Fleet() {
+  // A loaded run can end at the measurement deadline with hundreds of
+  // coroutine frames still parked mid-RPC.  Their local destructors
+  // (claim guards, spans) touch Process and kernel state, so tear the
+  // frames down NOW, while members — destroyed before engine_ in
+  // reverse declaration order — are all still alive.
+  engine_.shutdown();
+}
+
+std::unique_ptr<lynx::Process> Fleet::make_process(std::string name,
+                                                   std::size_t node) {
+  const net::NodeId nid(static_cast<std::uint32_t>(node));
+  switch (substrate_) {
+    case Substrate::kCharlotte:
+      return std::make_unique<lynx::Process>(
+          engine_, std::move(name),
+          lynx::make_charlotte_backend(*charlotte_cluster_, nid),
+          lynx::vax_runtime_costs());
+    case Substrate::kSoda:
+      return std::make_unique<lynx::Process>(
+          engine_, std::move(name),
+          lynx::make_soda_backend(*soda_network_, directory_, nid),
+          lynx::pdp11_runtime_costs());
+    case Substrate::kChrysalis:
+      return std::make_unique<lynx::Process>(
+          engine_, std::move(name),
+          lynx::make_chrysalis_backend(*chrysalis_kernel_, nid),
+          lynx::mc68000_runtime_costs());
+  }
+  return nullptr;
+}
+
+sim::Task<> Fleet::wire(Fleet* f, Scenario sc) {
+  // Clients call into their server (fan-in) or into stage 0 (pipeline).
+  for (std::size_t i = 0; i < sc.clients; ++i) {
+    const std::size_t target =
+        sc.topology == Topology::kFanIn ? i % sc.servers : 0;
+    for (std::size_t c = 0; c < sc.channels_per_client; ++c) {
+      auto [srv_end, cli_end] =
+          co_await lynx::connect_any(f->server(target), f->client(i));
+      f->server_inbound_[target].push_back(srv_end);
+      f->client_channels_[i].push_back(cli_end);
+    }
+  }
+  if (sc.topology == Topology::kPipeline) {
+    for (std::size_t s = 0; s + 1 < sc.servers; ++s) {
+      for (std::size_t w = 0; w < sc.server_threads; ++w) {
+        auto [next_end, stage_end] =
+            co_await lynx::connect_any(f->server(s + 1), f->server(s));
+        f->server_inbound_[s + 1].push_back(next_end);
+        f->forward_links_[s].push_back(stage_end);
+      }
+    }
+  }
+}
+
+}  // namespace load

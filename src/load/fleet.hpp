@@ -1,0 +1,93 @@
+// A Fleet instantiates a Scenario's topology on one kernel substrate:
+// the engine, the kernel, the server and client processes with their
+// calibrated runtime costs, and the bootstrap links between them —
+// everything except the traffic (load::Runner drives that).
+//
+// Node layout: servers (or pipeline stages) occupy nodes 0..M-1,
+// clients M..M+N-1.  Fan-in wires every channel of client i to server
+// i mod M; a pipeline additionally wires `server_threads` forward links
+// from each stage to the next, one per worker thread so concurrent
+// forwards never serialize on a link's one-outstanding-call rule.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "load/scenario.hpp"
+#include "lynx/lynx.hpp"
+#include "sim/engine.hpp"
+
+namespace charlotte {
+class Cluster;
+}
+namespace soda {
+class Network;
+}
+namespace chrysalis {
+class Kernel;
+}
+
+namespace load {
+
+enum class Substrate : std::uint8_t { kCharlotte = 0, kSoda = 1, kChrysalis = 2 };
+
+[[nodiscard]] const char* to_string(Substrate s);
+[[nodiscard]] std::array<Substrate, 3> all_substrates();
+
+class Fleet {
+ public:
+  Fleet(Substrate substrate, const Scenario& scenario);
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+  ~Fleet();
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] Substrate substrate() const { return substrate_; }
+  [[nodiscard]] std::size_t servers() const { return server_procs_.size(); }
+  [[nodiscard]] std::size_t clients() const { return client_procs_.size(); }
+  [[nodiscard]] lynx::Process& server(std::size_t s) {
+    return *server_procs_[s];
+  }
+  [[nodiscard]] lynx::Process& client(std::size_t i) {
+    return *client_procs_[i];
+  }
+
+  // Link ends, populated during construction (the ctor runs the engine
+  // until the wiring coroutine finishes).
+  [[nodiscard]] const std::vector<lynx::LinkHandle>& server_inbound(
+      std::size_t s) const {
+    return server_inbound_[s];
+  }
+  [[nodiscard]] const std::vector<lynx::LinkHandle>& client_channels(
+      std::size_t i) const {
+    return client_channels_[i];
+  }
+  // Pipeline only: stage s's calling ends toward stage s+1, one per
+  // worker thread; empty for the last stage and for fan-in.
+  [[nodiscard]] const std::vector<lynx::LinkHandle>& forward_links(
+      std::size_t s) const {
+    return forward_links_[s];
+  }
+
+ private:
+  [[nodiscard]] std::unique_ptr<lynx::Process> make_process(std::string name,
+                                                            std::size_t node);
+  [[nodiscard]] static sim::Task<> wire(Fleet* f, Scenario sc);
+
+  Substrate substrate_;
+  sim::Engine engine_;
+  lynx::SodaDirectory directory_;
+  std::unique_ptr<charlotte::Cluster> charlotte_cluster_;
+  std::unique_ptr<soda::Network> soda_network_;
+  std::unique_ptr<chrysalis::Kernel> chrysalis_kernel_;
+  // Declared after the kernels so processes tear down first.
+  std::vector<std::unique_ptr<lynx::Process>> server_procs_;
+  std::vector<std::unique_ptr<lynx::Process>> client_procs_;
+  std::vector<std::vector<lynx::LinkHandle>> server_inbound_;
+  std::vector<std::vector<lynx::LinkHandle>> client_channels_;
+  std::vector<std::vector<lynx::LinkHandle>> forward_links_;
+};
+
+}  // namespace load

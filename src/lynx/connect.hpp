@@ -1,0 +1,38 @@
+// Substrate-agnostic bootstrap wiring.
+//
+// Each backend exposes a static connect(Process&, Process&) because the
+// loader-fiat handshake is kernel-specific, but callers that run one
+// scenario against every substrate (tests/load, bench_capacity) only
+// know they hold two processes on the *same* backend family.  This
+// helper dispatches on the concrete backend type so such callers never
+// mention a kernel by name.
+#pragma once
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "lynx/charlotte_backend.hpp"
+#include "lynx/chrysalis_backend.hpp"
+#include "lynx/runtime.hpp"
+#include "lynx/soda_backend.hpp"
+#include "sim/task.hpp"
+
+namespace lynx {
+
+// Wires a <-> b with a fresh link and returns (a_end, b_end).  Both
+// processes must sit on the same backend family; run on the engine
+// before traffic, like the per-backend connect it forwards to.
+[[nodiscard]] inline sim::Task<std::pair<LinkHandle, LinkHandle>> connect_any(
+    Process& a, Process& b) {
+  if (dynamic_cast<CharlotteBackend*>(&a.backend()) != nullptr) {
+    co_return co_await CharlotteBackend::connect(a, b);
+  }
+  if (dynamic_cast<SodaBackend*>(&a.backend()) != nullptr) {
+    co_return co_await SodaBackend::connect(a, b);
+  }
+  RELYNX_ASSERT_MSG(dynamic_cast<ChrysalisBackend*>(&a.backend()) != nullptr,
+                    "connect_any: unknown backend");
+  co_return co_await ChrysalisBackend::connect(a, b);
+}
+
+}  // namespace lynx

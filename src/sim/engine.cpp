@@ -6,7 +6,9 @@
 
 namespace sim {
 
-Engine::~Engine() {
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
   // Destroy any still-suspended process frames (servers parked at a block
   // point when the experiment ended).  Destroying the root frame unwinds
   // nested Task frames because each child Task object lives inside its
@@ -17,6 +19,13 @@ Engine::~Engine() {
     (void)id;
     if (handle && !handle.done()) handle.destroy();
   }
+  // Unwinding frames can enqueue wakeups (e.g. a serializer guard waking
+  // the next waiter, whose frame we then destroy too).  Those events hold
+  // handles to frames that no longer exist: drop them so a post-shutdown
+  // step()/run() is a no-op instead of a resume-after-destroy.
+  queue_.clear();
+  cancelled_ = 0;
+  live_ = 0;
 }
 
 void Engine::push_event(Event ev) {

@@ -73,6 +73,12 @@ class Engine {
   // Fires a single event; returns false when the queue is empty.
   bool step();
   void stop() { stop_requested_ = true; }
+  // Destroys every still-suspended spawned frame and drops the pending
+  // event queue, leaving the engine inert.  For owners whose processes
+  // must outlive frame teardown (frames reference process state in their
+  // local destructors): call this while those objects are still alive
+  // instead of relying on ~Engine, which may run after them.  Idempotent.
+  void shutdown();
 
   // -- coroutine processes ----------------------------------------------
   // Starts `body` as a detached simulated process at the current time.

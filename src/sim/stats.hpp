@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -63,41 +64,74 @@ class Accumulator {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-// Power-of-two bucketed histogram for latency-style observations (>= 0).
+// HDR-style log-linear histogram for latency-style observations (>= 0).
+//
+// Each power-of-two octave is split into 32 sub-buckets, so a bucket
+// midpoint is within 1/64 (~1.6%) of every value the bucket absorbs —
+// tight enough to quote tail quantiles from midpoints (tests pin the
+// p50/p99 relative error at <= 2%).  Observations are scaled by 2^20
+// into fixed point so sub-microsecond latencies in milliseconds still
+// resolve; the bucket index is a couple of shifts via std::bit_width,
+// not a scan, because add() sits on the load generator's per-RPC hot
+// path.
 class Histogram {
  public:
   void add(double x) {
     acc_.add(x);
-    std::size_t b = 0;
-    double bound = 1.0;
-    while (x >= bound && b + 1 < kBuckets) {
-      bound *= 2.0;
-      ++b;
-    }
-    ++buckets_[b];
+    ++buckets_[bucket_index(x)];
   }
 
   [[nodiscard]] const Accumulator& summary() const { return acc_; }
 
-  // Approximate quantile from bucket midpoints; exact enough for reporting.
+  // Quantile from bucket midpoints, clamped into [min, max]; relative
+  // error is bounded by the sub-bucket resolution.
   [[nodiscard]] double quantile(double q) const {
     RELYNX_ASSERT(q >= 0.0 && q <= 1.0);
     const auto n = acc_.count();
     if (n == 0) return 0.0;
     auto target = static_cast<std::int64_t>(q * static_cast<double>(n - 1));
-    double lo = 0.0, hi = 1.0;
-    for (std::size_t b = 0; b < kBuckets; ++b) {
-      if (target < buckets_[b]) return (lo + hi) / 2.0;
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      if (target < buckets_[b]) {
+        return std::clamp(bucket_mid(b), acc_.min(), acc_.max());
+      }
       target -= buckets_[b];
-      lo = hi;
-      hi *= 2.0;
     }
     return acc_.max();
   }
 
  private:
-  static constexpr std::size_t kBuckets = 64;
-  std::int64_t buckets_[kBuckets] = {};
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBucketBits;
+  static constexpr double kScale = 0x1p20;  // fixed-point resolution 2^-20
+  // Indices 0..kSubBuckets-1 are the exact linear region; each further
+  // octave (up to 2^63 scaled) contributes kSubBuckets more.
+  static constexpr std::size_t kBucketCount =
+      (64 - kSubBucketBits + 1) * static_cast<std::size_t>(kSubBuckets);
+
+  [[nodiscard]] static std::size_t bucket_index(double x) {
+    if (x <= 0.0) return 0;
+    const double scaled = x * kScale;
+    if (scaled >= 0x1p63) return kBucketCount - 1;  // saturate the far tail
+    const auto u = static_cast<std::uint64_t>(scaled);
+    if (u < kSubBuckets) return static_cast<std::size_t>(u);
+    const int shift = std::bit_width(u) - 1 - kSubBucketBits;
+    const std::uint64_t sub = (u >> shift) - kSubBuckets;
+    return (static_cast<std::size_t>(shift) + 1) *
+               static_cast<std::size_t>(kSubBuckets) +
+           static_cast<std::size_t>(sub);
+  }
+
+  [[nodiscard]] static double bucket_mid(std::size_t b) {
+    if (b < kSubBuckets) return (static_cast<double>(b) + 0.5) / kScale;
+    const std::size_t shift = b / kSubBuckets - 1;
+    const std::uint64_t sub = b % kSubBuckets;
+    const double lo =
+        std::ldexp(static_cast<double>(kSubBuckets + sub), static_cast<int>(shift));
+    const double width = std::ldexp(1.0, static_cast<int>(shift));
+    return (lo + 0.5 * width) / kScale;
+  }
+
+  std::int64_t buckets_[kBucketCount] = {};
   Accumulator acc_;
 };
 

@@ -135,24 +135,46 @@ class Recorder {
   std::uint64_t digest_ = kEmptyDigest;
 };
 
+// The gate every instrumentation site goes through.  Returns nullptr
+// unless recording is compiled in, a recorder is attached, and it is
+// runtime-enabled; with RELYNX_TRACE_ENABLED=0 it is constexpr nullptr
+// and the dependent code folds away.
+#if RELYNX_TRACE_ENABLED
+[[nodiscard]] inline Recorder* get(sim::Engine& engine) {
+  Recorder* rec = engine.recorder();
+  return (rec != nullptr && rec->enabled()) ? rec : nullptr;
+}
+#else
+[[nodiscard]] constexpr Recorder* get(sim::Engine&) { return nullptr; }
+#endif
+
 // RAII span for scopes that may exit by exception or early co_return.
 // Safe across co_await (the frame owns it); end() is idempotent.
+//
+// Holds the Engine, not the Recorder: a frame parked across co_await can
+// outlive the Recorder (e.g. an Engine torn down mid-run destroys parked
+// frames after a later-declared Recorder is already gone), so end()
+// re-resolves through trace::get() — the Recorder detaches from the
+// Engine in its destructor, turning a dead recorder into a no-op.
 class SpanScope {
  public:
   SpanScope() = default;
   SpanScope(Recorder* rec, std::uint32_t node, const char* track,
             const char* label, TraceId trace, std::uint64_t a = 0,
             std::uint64_t b = 0)
-      : rec_(rec), node_(node) {
-    if (rec_ != nullptr) span_ = rec_->begin_span(node, track, label, trace, a, b);
+      : node_(node) {
+    if (rec != nullptr) {
+      engine_ = &rec->engine();
+      span_ = rec->begin_span(node, track, label, trace, a, b);
+    }
   }
   SpanScope(SpanScope&& other) noexcept { *this = std::move(other); }
   SpanScope& operator=(SpanScope&& other) noexcept {
     end();
-    rec_ = other.rec_;
+    engine_ = other.engine_;
     node_ = other.node_;
     span_ = other.span_;
-    other.rec_ = nullptr;
+    other.engine_ = nullptr;
     return *this;
   }
   SpanScope(const SpanScope&) = delete;
@@ -160,14 +182,14 @@ class SpanScope {
   ~SpanScope() { end(); }
 
   void end() {
-    if (rec_ != nullptr) {
-      rec_->end_span(node_, span_);
-      rec_ = nullptr;
+    if (engine_ != nullptr) {
+      if (Recorder* rec = get(*engine_)) rec->end_span(node_, span_);
+      engine_ = nullptr;
     }
   }
 
  private:
-  Recorder* rec_ = nullptr;
+  sim::Engine* engine_ = nullptr;
   std::uint32_t node_ = 0;
   SpanId span_ = 0;
 };
@@ -187,19 +209,6 @@ class CtxScope {
  private:
   Recorder* rec_;
 };
-
-// The gate every instrumentation site goes through.  Returns nullptr
-// unless recording is compiled in, a recorder is attached, and it is
-// runtime-enabled; with RELYNX_TRACE_ENABLED=0 it is constexpr nullptr
-// and the dependent code folds away.
-#if RELYNX_TRACE_ENABLED
-[[nodiscard]] inline Recorder* get(sim::Engine& engine) {
-  Recorder* rec = engine.recorder();
-  return (rec != nullptr && rec->enabled()) ? rec : nullptr;
-}
-#else
-[[nodiscard]] constexpr Recorder* get(sim::Engine&) { return nullptr; }
-#endif
 
 // Renders retained records back into the legacy "[123us] category:
 // message" text form — the adapter that keeps sim::Engine::set_trace

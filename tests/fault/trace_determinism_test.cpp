@@ -14,6 +14,7 @@
 #include "../support/co_check.hpp"
 #include "fault/faulty_medium.hpp"
 #include "fault/invariant_checker.hpp"
+#include "load/load.hpp"
 #include "net/csma_bus.hpp"
 #include "sim/engine.hpp"
 #include "soda/kernel.hpp"
@@ -94,11 +95,34 @@ RunResult run_universe(std::uint64_t seed) {
   return {rec.digest(), fm.fault_digest(), rec.total_emitted()};
 }
 
+// A loaded universe: an open-loop Poisson scenario on the SODA backend
+// with a Recorder watching the whole multi-client run.  Traced load is
+// the regime where nondeterminism would hide (hundreds of interleaved
+// RPCs), so the sweep pins its digest alongside the chaos universes'.
+RunResult run_load_universe(std::uint64_t seed) {
+  load::Scenario sc;
+  sc.clients = 2;
+  sc.arrival = load::Arrival::kOpenPoisson;
+  sc.offered_rate = 120.0;
+  sc.mix = {{32, 32, 1.0}};
+  sc.warmup = sim::msec(50);
+  sc.measure = sim::msec(250);
+  sc.drain = sim::msec(150);
+  sc.seed = seed;
+  load::Runner runner(load::Substrate::kSoda, sc);
+  trace::Recorder rec(runner.engine());
+  const load::Report r = runner.run();
+  EXPECT_EQ(r.errors, 0) << "seed " << seed;
+  EXPECT_GT(r.samples, 0) << "seed " << seed;
+  return {rec.digest(), 0, rec.total_emitted()};
+}
+
 TEST(TraceDeterminism, SweepSeedsReproduceDigests) {
   // Every universe in the sweep, run twice: same (seed, plan) => same
   // trace digest AND same fault digest, every time.  Different seeds
   // must not collapse onto one stream.
   std::set<std::uint64_t> distinct;
+  std::set<std::uint64_t> distinct_load;
   for (std::uint64_t seed = 1; seed <= 100; ++seed) {
     const RunResult a = run_universe(seed);
     const RunResult b = run_universe(seed);
@@ -109,9 +133,18 @@ TEST(TraceDeterminism, SweepSeedsReproduceDigests) {
     ASSERT_NE(a.trace_digest, trace::Recorder::kEmptyDigest)
         << "seed " << seed;
     distinct.insert(a.trace_digest);
+
+    const RunResult la = run_load_universe(seed);
+    const RunResult lb = run_load_universe(seed);
+    ASSERT_EQ(la.trace_digest, lb.trace_digest) << "load seed " << seed;
+    ASSERT_EQ(la.emitted, lb.emitted) << "load seed " << seed;
+    ASSERT_GT(la.emitted, 0u) << "load seed " << seed;
+    distinct_load.insert(la.trace_digest);
   }
   // Chaos differs per seed, so the streams (almost) all differ too.
   EXPECT_GT(distinct.size(), 90u);
+  // Load arrivals are Poisson-per-seed: streams must not collapse either.
+  EXPECT_GT(distinct_load.size(), 90u);
 }
 
 TEST(TraceDeterminism, FaultEventsLandInTheSameStream) {

@@ -1,0 +1,69 @@
+// Coordinated-omission regression (the reason load:: has an open loop).
+//
+// The server stalls for 400 ms in the middle of the measure window.
+// During the stall an open-loop generator keeps scheduling arrivals and
+// charges each one from its *scheduled* time, so the stall dominates
+// the recorded tail.  A closed-loop generator stops issuing while its
+// one outstanding call is stuck — it records just one long sample per
+// client and the (coordinated) generator slowdown hides the rest, so
+// its p99 stays near the uncontended latency.  Same scenario, same
+// fault; only the accounting differs.
+#include <gtest/gtest.h>
+
+#include "load/load.hpp"
+
+namespace load {
+namespace {
+
+Scenario stalled_scenario() {
+  Scenario sc;
+  sc.clients = 4;
+  sc.warmup = sim::msec(200);
+  sc.measure = sim::sec(2);
+  sc.drain = sim::sec(1);
+  sc.stall_at = sc.warmup + sim::msec(200);  // mid-window
+  sc.stall_for = sim::msec(400);
+  sc.max_backlog_per_client = 0;  // never shed: the point is the queue
+  return sc;
+}
+
+TEST(OmissionTest, OpenLoopTailReflectsTheStall) {
+  Scenario sc = stalled_scenario();
+  sc.arrival = Arrival::kOpenDeterministic;
+  sc.offered_rate = 100.0;
+  const Report r = run_scenario(Substrate::kChrysalis, sc);
+  ASSERT_GT(r.samples, 100);
+  EXPECT_EQ(r.errors, 0);
+  // ~40 of ~200 in-window arrivals land during the 400 ms stall and
+  // queue behind it: the p99 is stall-sized, not service-sized.
+  EXPECT_GT(r.p99_ms, 100.0);
+  EXPECT_GT(r.max_ms, 300.0);
+}
+
+TEST(OmissionTest, NaiveClosedLoopHidesTheStall) {
+  Scenario sc = stalled_scenario();
+  sc.arrival = Arrival::kClosed;
+  sc.think = sim::msec(10);
+  const Report r = run_scenario(Substrate::kChrysalis, sc);
+  ASSERT_GT(r.samples, 100);
+  EXPECT_EQ(r.errors, 0);
+  // Each client records exactly one stall-length sample (4 of ~600):
+  // under 1% of the distribution, so the p99 never sees the fault.
+  EXPECT_LT(r.p99_ms, 20.0);
+  EXPECT_GT(r.max_ms, 300.0);  // the stall happened — it is just omitted
+}
+
+TEST(OmissionTest, OpenLoopTailDominatesClosedLoopTail) {
+  Scenario open = stalled_scenario();
+  open.arrival = Arrival::kOpenDeterministic;
+  open.offered_rate = 100.0;
+  Scenario closed = stalled_scenario();
+  closed.arrival = Arrival::kClosed;
+  closed.think = sim::msec(10);
+  const Report ro = run_scenario(Substrate::kChrysalis, open);
+  const Report rc = run_scenario(Substrate::kChrysalis, closed);
+  EXPECT_GT(ro.p99_ms, 4.0 * rc.p99_ms);
+}
+
+}  // namespace
+}  // namespace load

@@ -1,0 +1,143 @@
+// load:: subsystem tests: scenarios run on every substrate, runs are
+// deterministic, overload is detected, and the capacity search finds a
+// finite knee consistent with the paper's latency ordering.
+#include <gtest/gtest.h>
+
+#include "load/load.hpp"
+
+namespace load {
+namespace {
+
+// Short windows keep each simulated run cheap; the full-length windows
+// are exercised by bench_capacity.
+Scenario quick_scenario() {
+  Scenario sc;
+  sc.clients = 2;
+  sc.warmup = sim::msec(100);
+  sc.measure = sim::msec(500);
+  sc.drain = sim::msec(500);
+  return sc;
+}
+
+class SubstrateTest : public ::testing::TestWithParam<Substrate> {};
+
+TEST_P(SubstrateTest, ClosedLoopRunsUnchanged) {
+  Scenario sc = quick_scenario();
+  sc.arrival = Arrival::kClosed;
+  const Report r = run_scenario(GetParam(), sc);
+  EXPECT_GT(r.samples, 0) << r.backend;
+  EXPECT_EQ(r.errors, 0) << r.backend;
+  EXPECT_EQ(r.dropped, 0) << r.backend;
+  EXPECT_EQ(r.completed, r.samples);
+  EXPECT_GT(r.p50_ms, 0.0);
+  EXPECT_LE(r.p50_ms, r.p99_ms);
+}
+
+TEST_P(SubstrateTest, OpenLoopRunsUnchanged) {
+  Scenario sc = quick_scenario();
+  sc.arrival = Arrival::kOpenPoisson;
+  sc.offered_rate = 20.0;  // well under every backend's capacity
+  const Report r = run_scenario(GetParam(), sc);
+  EXPECT_GT(r.samples, 0) << r.backend;
+  EXPECT_EQ(r.errors, 0) << r.backend;
+  EXPECT_EQ(r.completed, r.scheduled) << r.backend;
+  EXPECT_FALSE(r.backlog_capped);
+}
+
+TEST_P(SubstrateTest, OpenLoopIsDeterministic) {
+  Scenario sc = quick_scenario();
+  sc.arrival = Arrival::kOpenPoisson;
+  sc.offered_rate = 30.0;
+  sc.seed = 77;
+  Runner first(GetParam(), sc);
+  Runner second(GetParam(), sc);
+  const Report a = first.run();
+  const Report b = second.run();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(first.engine().now(), second.engine().now());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, SubstrateTest,
+                         ::testing::Values(Substrate::kCharlotte,
+                                           Substrate::kSoda,
+                                           Substrate::kChrysalis),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(LoadTest, PipelineTopologyCompletes) {
+  Scenario sc = quick_scenario();
+  sc.topology = Topology::kPipeline;
+  sc.servers = 3;  // client -> stage0 -> stage1 -> stage2
+  sc.arrival = Arrival::kClosed;
+  const Report r = run_scenario(Substrate::kChrysalis, sc);
+  EXPECT_GT(r.samples, 0);
+  EXPECT_EQ(r.errors, 0);
+  // Three hops cost at least 3x the single-hop floor (~2.4 ms).
+  EXPECT_GT(r.p50_ms, 6.0);
+}
+
+TEST(LoadTest, OverloadSaturatesAndCaps) {
+  Scenario sc = quick_scenario();
+  sc.arrival = Arrival::kOpenDeterministic;
+  sc.offered_rate = 5000.0;  // far beyond a single-threaded server
+  sc.max_backlog_per_client = 64;
+  const Report r = run_scenario(Substrate::kChrysalis, sc);
+  EXPECT_TRUE(r.backlog_capped);
+  EXPECT_GT(r.dropped, 0);
+  EXPECT_FALSE(r.sustainable(/*p99_bound_ms=*/1e9, /*backlog_slack=*/1 << 20));
+  // Delivered throughput is pinned near capacity, far below offered.
+  EXPECT_LT(r.throughput, sc.offered_rate / 2.0);
+  EXPECT_GT(r.throughput, 0.0);
+}
+
+TEST(LoadTest, UnboundedBacklogGrowsUnderOverload) {
+  Scenario sc = quick_scenario();
+  sc.arrival = Arrival::kOpenDeterministic;
+  sc.offered_rate = 2000.0;
+  sc.max_backlog_per_client = 0;  // unbounded: growth, not drops
+  const Report r = run_scenario(Substrate::kChrysalis, sc);
+  EXPECT_FALSE(r.backlog_capped);
+  EXPECT_EQ(r.dropped, 0);
+  EXPECT_GT(r.backlog_end, r.backlog_start + 100);
+  EXPECT_FALSE(r.sustainable(/*p99_bound_ms=*/1e9, /*backlog_slack=*/8));
+}
+
+TEST(LoadTest, SodaSustainsMoreThanCharlotte) {
+  // Offered far beyond Charlotte's capacity (~18/s) but near SODA's:
+  // delivered throughput separates the kernels the way the paper's
+  // latency tables do.
+  Scenario sc = quick_scenario();
+  sc.arrival = Arrival::kOpenDeterministic;
+  sc.offered_rate = 200.0;
+  sc.max_backlog_per_client = 256;
+  const Report charlotte = run_scenario(Substrate::kCharlotte, sc);
+  const Report soda = run_scenario(Substrate::kSoda, sc);
+  EXPECT_GT(soda.throughput, charlotte.throughput);
+}
+
+TEST(LoadTest, CapacitySearchFindsFiniteKnee) {
+  Scenario sc = quick_scenario();
+  sc.arrival = Arrival::kOpenPoisson;
+  CapacityParams p;
+  p.rate_lo = 8.0;
+  p.rate_hi = 4096.0;
+  p.refine_iters = 2;
+  const CapacityResult cap = find_capacity(Substrate::kChrysalis, sc, p);
+  EXPECT_GT(cap.peak_rate, p.rate_lo);
+  EXPECT_LT(cap.peak_rate, p.rate_hi);
+  EXPECT_GT(cap.peak_throughput, 0.0);
+  EXPECT_GT(cap.p99_bound_ms, 0.0);
+  // The curve brackets the knee: sustainable below, unsustainable above.
+  bool saw_unsustainable = false;
+  for (const auto& pt : cap.curve) {
+    if (pt.rate <= cap.peak_rate) {
+      EXPECT_TRUE(pt.sustainable) << "rate " << pt.rate;
+    }
+    saw_unsustainable |= !pt.sustainable;
+  }
+  EXPECT_TRUE(saw_unsustainable);
+}
+
+}  // namespace
+}  // namespace load

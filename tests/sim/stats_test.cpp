@@ -59,8 +59,50 @@ TEST(HistogramTest, QuantilesAreMonotone) {
   const double q99 = h.quantile(0.99);
   EXPECT_LE(q50, q90);
   EXPECT_LE(q90, q99);
-  EXPECT_GT(q50, 100.0);  // true median is 500; buckets are coarse
+  EXPECT_GT(q50, 100.0);
   EXPECT_EQ(h.summary().count(), 1000);
+}
+
+// The log-linear buckets (32 sub-buckets per octave) must quote
+// quantiles within 2% of the exact order statistic — the old
+// power-of-two buckets were off by up to ~33% at the tail.
+TEST(HistogramTest, QuantileRelativeErrorIsBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  // quantile() targets index floor(q * (n - 1)) of the sorted sample.
+  EXPECT_NEAR(h.quantile(0.5), 500.0, 0.02 * 500.0);
+  EXPECT_NEAR(h.quantile(0.9), 900.0, 0.02 * 900.0);
+  EXPECT_NEAR(h.quantile(0.99), 990.0, 0.02 * 990.0);
+  EXPECT_NEAR(h.quantile(1.0), 1000.0, 0.02 * 1000.0);
+}
+
+TEST(HistogramTest, TailAccuracyAcrossDecades) {
+  // 990 fast observations and 10 six-decades-slower stragglers: the
+  // p99 sits at the boundary and p999 deep in the far tail.
+  Histogram h;
+  for (int i = 0; i < 990; ++i) h.add(1.25);
+  for (int i = 0; i < 10; ++i) h.add(1.25e6);
+  EXPECT_NEAR(h.quantile(0.5), 1.25, 0.02 * 1.25);
+  EXPECT_NEAR(h.quantile(0.99), 1.25, 0.02 * 1.25);
+  EXPECT_NEAR(h.quantile(0.999), 1.25e6, 0.02 * 1.25e6);
+}
+
+TEST(HistogramTest, SubUnitAndZeroObservations) {
+  Histogram h;
+  h.add(0.0);
+  for (int i = 0; i < 99; ++i) h.add(0.125);
+  EXPECT_NEAR(h.quantile(0.5), 0.125, 0.02 * 0.125);
+  EXPECT_LT(h.quantile(0.0), 1e-6);  // zero lands in the first fixed-point bucket
+  EXPECT_EQ(h.summary().count(), 100);
+}
+
+TEST(HistogramTest, HugeValuesSaturateWithoutOverflow) {
+  Histogram h;
+  h.add(1.0);
+  h.add(1e18);  // beyond the fixed-point range: lands in the last bucket
+  EXPECT_LE(h.quantile(1.0), 1e18);
+  EXPECT_GE(h.quantile(1.0), 1.0);
+  EXPECT_EQ(h.summary().count(), 2);
 }
 
 TEST(SeriesTest, CrossoverInterpolates) {
@@ -81,6 +123,36 @@ TEST(SeriesTest, NoCrossoverIsNan) {
     b.add(x, 1.0);
   }
   EXPECT_TRUE(std::isnan(a.crossover_x(b)));
+}
+
+TEST(SeriesTest, EmptySeriesNeverCross) {
+  Series a("a"), b("b");
+  EXPECT_TRUE(std::isnan(a.crossover_x(b)));
+  b.add(0.0, 1.0);
+  EXPECT_TRUE(std::isnan(a.crossover_x(b)));  // one side empty
+  EXPECT_TRUE(std::isnan(b.crossover_x(a)));
+}
+
+TEST(SeriesTest, SinglePointSeriesNeverCross) {
+  // A crossover needs a segment; one sample per series is not enough
+  // even when the point values straddle each other.
+  Series a("a"), b("b");
+  a.add(0.0, 5.0);
+  b.add(0.0, 1.0);
+  EXPECT_TRUE(std::isnan(a.crossover_x(b)));
+  EXPECT_TRUE(std::isnan(b.crossover_x(a)));
+}
+
+TEST(SeriesTest, CrossoverExactlyOnSample) {
+  // The series meet exactly at the x = 1 sample; interpolation must
+  // return that sample, not overshoot into the next segment.
+  Series a("a"), b("b");
+  for (double x : {0.0, 1.0, 2.0}) {
+    a.add(x, 2.0 - x);  // 2, 1, 0
+    b.add(x, x);        // 0, 1, 2
+  }
+  EXPECT_DOUBLE_EQ(a.crossover_x(b), 1.0);
+  EXPECT_DOUBLE_EQ(b.crossover_x(a), 1.0);
 }
 
 }  // namespace
