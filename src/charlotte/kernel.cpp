@@ -510,7 +510,10 @@ bool Kernel::deduplicate(EndState& end, const wire::Msg& m, net::NodeId from) {
     if (seq == m.seq) {
       // Already delivered; the original ack (or this replacement) was
       // lost in flight.  Re-ack so the sender's timer stands down.
-      transmit(from, wire::MsgAck{m.seq, m.from_end, len, m.trace}, m.trace);
+      if (!cluster_->costs().debug_drop_reacks) {
+        transmit(from, wire::MsgAck{m.seq, m.from_end, len, m.trace},
+                 m.trace);
+      }
       return true;
     }
   }

@@ -112,6 +112,14 @@ struct Costs {
   // Charlotte's absolute failure notice.
   sim::Duration send_retransmit_timeout = sim::Duration(0);
   int max_send_attempts = 5;
+  // TESTING ONLY — a deliberately injected semantic bug used by the
+  // schedule-exploration checker (src/check/) to prove it can catch and
+  // shrink real divergences.  When true, an already-delivered Msg whose
+  // ack was lost is deduplicated but never RE-acked, so the sender's
+  // retransmit timer can never stand down: it exhausts its attempts and
+  // declares the link failed even though the message (and usually the
+  // reply) got through.  Never enable outside the checker's self-test.
+  bool debug_drop_reacks = false;
 };
 
 }  // namespace charlotte

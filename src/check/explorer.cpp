@@ -1,0 +1,437 @@
+#include "check/explorer.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <memory>
+#include <utility>
+
+#include "charlotte/kernel.hpp"
+#include "chrysalis/kernel.hpp"
+#include "fault/faulty_medium.hpp"
+#include "fault/invariant_checker.hpp"
+#include "lynx/connect.hpp"
+#include "lynx/lynx.hpp"
+#include "net/csma_bus.hpp"
+#include "net/token_ring.hpp"
+#include "sim/random.hpp"
+#include "soda/kernel.hpp"
+#include "trace/trace.hpp"
+
+namespace check {
+
+namespace {
+
+using net::NodeId;
+
+// The ack-storm window.  Starts after bootstrap wiring has finished on
+// every substrate and ends early enough that the retransmit budgets
+// below ride it out with room to spare.
+constexpr sim::Time kStormFrom = sim::msec(60);
+constexpr sim::Time kStormTo = sim::msec(310);
+
+fault::Plan plan_of(PlanSpec spec) {
+  switch (spec) {
+    case PlanSpec::kNone:
+      return {};
+    case PlanSpec::kAckStorm:
+      // Server node 0 -> client node 1 only: requests keep getting
+      // through, but their acks and the replies do not.
+      return fault::Plan{}.drop_between(kStormFrom, kStormTo, 1.0, NodeId(0),
+                                        NodeId(1));
+  }
+  return {};
+}
+
+charlotte::Costs charlotte_costs(const RunConfig& cfg) {
+  charlotte::Costs c;
+  // 8 x 100ms of retransmission outlasts the storm window.
+  c.send_retransmit_timeout = sim::msec(100);
+  c.max_send_attempts = 8;
+  c.debug_drop_reacks = cfg.inject_reack_bug;
+  return c;
+}
+
+soda::Costs soda_costs() {
+  soda::Costs c;
+  // 40 x 12ms of per-fragment retransmission outlasts the storm window.
+  c.ack_timeout = sim::msec(12);
+  c.max_transport_attempts = 40;
+  return c;
+}
+
+net::CsmaBusParams quiet_bus() {
+  net::CsmaBusParams p;
+  p.broadcast_drop_prob = 0.0;  // loss comes from the plan, not the bus
+  return p;
+}
+
+// Coroutine bodies are free functions (CP.51: no capturing coroutine
+// lambdas); spawn sites wrap them in plain capturing lambdas.
+sim::Task<> wire(lynx::Process* server, lynx::Process* client, int channels,
+                 std::vector<lynx::LinkHandle>* server_ends,
+                 std::vector<lynx::LinkHandle>* client_ends) {
+  for (int ch = 0; ch < channels; ++ch) {
+    auto [se, ce] = co_await lynx::connect_any(*server, *client);
+    server_ends->push_back(se);
+    client_ends->push_back(ce);
+  }
+}
+
+sim::Task<> serve(lynx::ThreadCtx& ctx, lynx::LinkHandle link, int n) {
+  ctx.enable_requests(link);
+  for (int i = 0; i < n; ++i) {
+    lynx::Incoming in = co_await ctx.receive();
+    lynx::Message rep;
+    rep.args = in.msg.args;
+    co_await ctx.reply(in, std::move(rep));
+  }
+}
+
+sim::Task<> drive(lynx::ThreadCtx& ctx, lynx::LinkHandle link, int n,
+                  std::size_t bytes) {
+  for (int i = 0; i < n; ++i) {
+    lynx::Message m = lynx::make_message(
+        "echo", {lynx::Bytes(bytes, static_cast<std::uint8_t>(i + 1))});
+    (void)co_await ctx.call(link, std::move(m));
+  }
+}
+
+}  // namespace
+
+const char* to_string(PlanSpec spec) {
+  switch (spec) {
+    case PlanSpec::kNone: return "none";
+    case PlanSpec::kAckStorm: return "ack-storm";
+  }
+  return "?";
+}
+
+std::optional<PlanSpec> plan_spec_from(std::string_view name) {
+  if (name == "none") return PlanSpec::kNone;
+  if (name == "ack-storm") return PlanSpec::kAckStorm;
+  return std::nullopt;
+}
+
+RunVerdict run_one(const RunConfig& cfg) {
+  sim::Engine engine;
+  // Tie-break keys are assigned at schedule time: the policy must be in
+  // place before the first construction schedules anything.
+  engine.set_tie_policy(
+      {.kind = cfg.tie, .seed = cfg.seed, .horizon = cfg.horizon});
+  trace::Recorder rec(engine, 1u << 18);
+
+  // Substrate members, declared engine-first so teardown runs processes
+  // -> kernels -> medium; engine.shutdown() below handles parked frames
+  // while everything is still alive (the Fleet discipline).
+  std::unique_ptr<net::TokenRing> ring;
+  std::unique_ptr<net::CsmaBus> bus;
+  std::unique_ptr<fault::FaultyMedium> medium;
+  std::unique_ptr<fault::InvariantChecker> invariants;
+  std::unique_ptr<charlotte::Cluster> cluster;
+  lynx::SodaDirectory directory;
+  std::unique_ptr<soda::Network> network;
+  std::unique_ptr<chrysalis::Kernel> kernel;
+  std::unique_ptr<lynx::Process> server;
+  std::unique_ptr<lynx::Process> client;
+
+  const fault::Plan plan = plan_of(cfg.plan);
+  switch (cfg.substrate) {
+    case load::Substrate::kCharlotte: {
+      ring = std::make_unique<net::TokenRing>(engine);
+      medium =
+          std::make_unique<fault::FaultyMedium>(engine, *ring, cfg.seed, plan);
+      invariants = std::make_unique<fault::InvariantChecker>(*medium);
+      cluster = std::make_unique<charlotte::Cluster>(engine, 2, *medium,
+                                                     charlotte_costs(cfg));
+      server = std::make_unique<lynx::Process>(
+          engine, "server", lynx::make_charlotte_backend(*cluster, NodeId(0)),
+          lynx::vax_runtime_costs());
+      client = std::make_unique<lynx::Process>(
+          engine, "client", lynx::make_charlotte_backend(*cluster, NodeId(1)),
+          lynx::vax_runtime_costs());
+      break;
+    }
+    case load::Substrate::kSoda: {
+      bus = std::make_unique<net::CsmaBus>(engine, sim::Rng(cfg.seed),
+                                           quiet_bus());
+      medium =
+          std::make_unique<fault::FaultyMedium>(engine, *bus, cfg.seed, plan);
+      invariants = std::make_unique<fault::InvariantChecker>(*medium);
+      network =
+          std::make_unique<soda::Network>(engine, 2, *medium, soda_costs());
+      server = std::make_unique<lynx::Process>(
+          engine, "server",
+          lynx::make_soda_backend(*network, directory, NodeId(0)),
+          lynx::pdp11_runtime_costs());
+      client = std::make_unique<lynx::Process>(
+          engine, "client",
+          lynx::make_soda_backend(*network, directory, NodeId(1)),
+          lynx::pdp11_runtime_costs());
+      break;
+    }
+    case load::Substrate::kChrysalis: {
+      // Shared-memory Butterfly: no medium, hence no plan and no
+      // medium invariants — the other two oracles still apply.
+      kernel = std::make_unique<chrysalis::Kernel>(engine,
+                                                   net::ButterflyParams{});
+      server = std::make_unique<lynx::Process>(
+          engine, "server", lynx::make_chrysalis_backend(*kernel, NodeId(0)),
+          lynx::mc68000_runtime_costs());
+      client = std::make_unique<lynx::Process>(
+          engine, "client", lynx::make_chrysalis_backend(*kernel, NodeId(1)),
+          lynx::mc68000_runtime_costs());
+      break;
+    }
+  }
+
+  server->start();
+  client->start();
+  // cfg.channels independent links; per-channel server and client
+  // threads with identical costs give the permutation policy genuine
+  // same-instant ties to reorder.
+  const int channels = cfg.channels > 0 ? cfg.channels : 1;
+  std::vector<lynx::LinkHandle> server_ends;
+  std::vector<lynx::LinkHandle> client_ends;
+  engine.spawn("wire", wire(server.get(), client.get(), channels,
+                            &server_ends, &client_ends));
+  engine.run();
+
+  const int n = cfg.calls;
+  const std::size_t bytes = cfg.bytes;
+  for (int ch = 0; ch < channels; ++ch) {
+    const lynx::LinkHandle server_end = server_ends.at(ch);
+    const lynx::LinkHandle client_end = client_ends.at(ch);
+    server->spawn_thread("srv" + std::to_string(ch),
+                         [server_end, n](lynx::ThreadCtx& ctx) {
+                           return serve(ctx, server_end, n);
+                         });
+    client->spawn_thread("cli" + std::to_string(ch),
+                         [client_end, n, bytes](lynx::ThreadCtx& ctx) {
+                           return drive(ctx, client_end, n, bytes);
+                         });
+  }
+  engine.run();
+
+  RunVerdict v;
+  v.trace_digest = rec.digest();
+  v.records = rec.total_emitted();
+
+  ReferenceModel model;  // clean expectation: zero errors, full completion
+  const bool conforms = model.replay(rec);
+  v.calls_checked = model.calls_checked();
+  if (!conforms) {
+    v.divergence = model.divergence();
+    v.failure = v.divergence->render();
+  } else if (invariants != nullptr && !invariants->ok()) {
+    v.failure = "medium invariant: " + invariants->violations().front();
+  } else if (!engine.process_failures().empty()) {
+    v.failure = "process failure: " + engine.process_failures().front();
+  } else if (!server->thread_failures().empty()) {
+    v.failure = "thread failure: " + server->thread_failures().front();
+  } else if (!client->thread_failures().empty()) {
+    v.failure = "thread failure: " + client->thread_failures().front();
+  } else if (model.calls_checked() !=
+             static_cast<std::uint64_t>(cfg.calls) * channels) {
+    v.failure = "workload mismatch: expected " +
+                std::to_string(cfg.calls * channels) + " calls, model saw " +
+                std::to_string(model.calls_checked());
+  } else {
+    v.ok = true;
+  }
+
+  // Destroy parked frames while processes and kernels are still alive.
+  engine.shutdown();
+  return v;
+}
+
+// ---- repro tokens ----------------------------------------------------
+
+std::string to_json(const RunConfig& cfg) {
+  std::string j = "{\"v\":1";
+  j += ",\"substrate\":\"" + std::string(load::to_string(cfg.substrate)) + "\"";
+  j += ",\"tie\":\"" + std::string(sim::to_string(cfg.tie)) + "\"";
+  j += ",\"seed\":" + std::to_string(cfg.seed);
+  if (cfg.horizon != sim::TiePolicy::kNoHorizon) {
+    j += ",\"horizon\":" + std::to_string(cfg.horizon);
+  }
+  j += ",\"plan\":\"" + std::string(to_string(cfg.plan)) + "\"";
+  j += ",\"channels\":" + std::to_string(cfg.channels);
+  j += ",\"calls\":" + std::to_string(cfg.calls);
+  j += ",\"bytes\":" + std::to_string(cfg.bytes);
+  if (cfg.inject_reack_bug) j += ",\"bug\":1";
+  j += "}";
+  return j;
+}
+
+namespace {
+
+// Minimal flat-JSON field extraction — tokens are machine-written, one
+// level deep, and dependency-free parsing beats vendoring a library.
+std::optional<std::string_view> json_raw(std::string_view j,
+                                         std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t pos = j.find(needle);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::size_t i = pos + needle.size();
+  while (i < j.size() && j[i] == ' ') ++i;
+  if (i >= j.size()) return std::nullopt;
+  if (j[i] == '"') {
+    const std::size_t end = j.find('"', i + 1);
+    if (end == std::string_view::npos) return std::nullopt;
+    return j.substr(i + 1, end - i - 1);
+  }
+  std::size_t end = i;
+  while (end < j.size() && (std::isdigit(static_cast<unsigned char>(j[end])) != 0)) {
+    ++end;
+  }
+  if (end == i) return std::nullopt;
+  return j.substr(i, end - i);
+}
+
+std::optional<std::uint64_t> json_u64(std::string_view j,
+                                      std::string_view key) {
+  const auto raw = json_raw(j, key);
+  if (!raw.has_value()) return std::nullopt;
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(raw->data(), raw->data() + raw->size(), out);
+  if (ec != std::errc{} || ptr != raw->data() + raw->size()) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<load::Substrate> substrate_from(std::string_view name) {
+  for (load::Substrate s : load::all_substrates()) {
+    if (name == load::to_string(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::TieBreak> tie_from(std::string_view name) {
+  for (sim::TieBreak t :
+       {sim::TieBreak::kFifo, sim::TieBreak::kSeededPermutation,
+        sim::TieBreak::kPriorityFuzz}) {
+    if (name == sim::to_string(t)) return t;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<RunConfig> parse_token(std::string_view json) {
+  RunConfig cfg;
+  const auto substrate = json_raw(json, "substrate");
+  const auto tie = json_raw(json, "tie");
+  const auto seed = json_u64(json, "seed");
+  const auto plan = json_raw(json, "plan");
+  if (!substrate || !tie || !seed || !plan) return std::nullopt;
+  const auto sub = substrate_from(*substrate);
+  const auto tb = tie_from(*tie);
+  const auto ps = plan_spec_from(*plan);
+  if (!sub || !tb || !ps) return std::nullopt;
+  cfg.substrate = *sub;
+  cfg.tie = *tb;
+  cfg.seed = *seed;
+  cfg.plan = *ps;
+  if (const auto h = json_u64(json, "horizon")) cfg.horizon = *h;
+  if (const auto ch = json_u64(json, "channels")) {
+    cfg.channels = static_cast<int>(*ch);
+  }
+  if (const auto c = json_u64(json, "calls")) cfg.calls = static_cast<int>(*c);
+  if (const auto b = json_u64(json, "bytes")) {
+    cfg.bytes = static_cast<std::size_t>(*b);
+  }
+  if (const auto bug = json_u64(json, "bug")) {
+    cfg.inject_reack_bug = *bug != 0;
+  }
+  return cfg;
+}
+
+// ---- shrinking -------------------------------------------------------
+
+RunConfig shrink(const RunConfig& failing, std::uint64_t* runs) {
+  // FIFO ignores the seed and the horizon: nothing to shrink.
+  if (failing.tie == sim::TieBreak::kFifo) return failing;
+
+  auto fails_at = [&](std::uint64_t horizon) {
+    RunConfig probe = failing;
+    probe.horizon = horizon;
+    if (runs != nullptr) ++*runs;
+    return !run_one(probe).ok;
+  };
+
+  // Horizon 0 degenerates to FIFO order: a failure that survives it is
+  // schedule-independent, the strongest possible shrink.
+  if (fails_at(0)) {
+    RunConfig out = failing;
+    out.horizon = 0;
+    return out;
+  }
+
+  // Exponential envelope: find some failing horizon.
+  std::uint64_t lo = 1;
+  std::uint64_t hi = 1;
+  constexpr std::uint64_t kGiveUp = 1ull << 32;
+  while (!fails_at(hi)) {
+    lo = hi + 1;
+    hi *= 2;
+    if (hi > kGiveUp) return failing;  // keep the full-horizon repro
+  }
+  // Bisect down to the smallest failing horizon in [lo, hi].  The
+  // predicate need not be monotone; the invariant "hi fails" is
+  // maintained at every step, so the result is verified failing.
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (fails_at(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  RunConfig out = failing;
+  out.horizon = hi;
+  return out;
+}
+
+// ---- the sweep -------------------------------------------------------
+
+ExploreResult explore(const ExploreOptions& opts) {
+  ExploreResult res;
+  for (load::Substrate substrate : opts.substrates) {
+    for (PlanSpec plan : opts.plans) {
+      if (substrate == load::Substrate::kChrysalis &&
+          plan != PlanSpec::kNone) {
+        continue;  // no medium to impair
+      }
+      for (sim::TieBreak tie : opts.policies) {
+        for (std::uint64_t s = 0; s < opts.seeds; ++s) {
+          RunConfig cfg;
+          cfg.substrate = substrate;
+          cfg.tie = tie;
+          cfg.seed = opts.first_seed + s;
+          cfg.plan = plan;
+          cfg.channels = opts.channels;
+          cfg.calls = opts.calls;
+          cfg.bytes = opts.bytes;
+          cfg.inject_reack_bug = opts.inject_reack_bug &&
+                                 substrate == load::Substrate::kCharlotte;
+          ++res.runs;
+          RunVerdict verdict = run_one(cfg);
+          if (verdict.ok) continue;
+          FailureReport report;
+          report.config = cfg;
+          report.minimized =
+              opts.shrink_failures ? shrink(cfg, &res.shrink_runs) : cfg;
+          report.verdict = report.minimized.horizon == cfg.horizon
+                               ? std::move(verdict)
+                               : run_one(report.minimized);
+          res.failures.push_back(std::move(report));
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace check

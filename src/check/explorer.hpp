@@ -1,0 +1,133 @@
+// The schedule-exploration checker (the repo's "confidence at scale"
+// subsystem).
+//
+// One RunConfig = one fully reproducible universe: a kernel substrate,
+// an echo workload, an optional named fault plan, and ONE seed that
+// picks both the same-instant tie-break permutation (sim::TiePolicy)
+// and the fault/medium randomness.  run_one() builds the world, runs
+// it, and asks three oracles whether anything broke:
+//
+//   * the LYNX reference model (reference_model.hpp) replaying the
+//     runtime trace stream,
+//   * fault::InvariantChecker over the impaired medium,
+//   * the engine's own process-failure log.
+//
+// explore() sweeps seeds x substrates x tie-break policies x plans; any
+// failure is auto-shrunk to the shortest permuted schedule prefix that
+// still reproduces it (by lowering TiePolicy::horizon), and reported as
+// a one-line JSON repro token that parse_token() turns back into the
+// exact failing RunConfig.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "check/reference_model.hpp"
+#include "load/fleet.hpp"
+#include "sim/engine.hpp"
+
+namespace check {
+
+// Named fault plans, referenced by name so repro tokens stay one line.
+enum class PlanSpec : std::uint8_t {
+  kNone = 0,
+  // Drop every server->client frame in [60ms, 310ms): request acks and
+  // replies are lost, exercising retransmit / dedup / re-ack recovery.
+  // Recoverable by construction — the attempt budgets in run_one()'s
+  // kernel costs outlast the window — so a conforming kernel finishes
+  // every call cleanly.
+  kAckStorm,
+};
+
+[[nodiscard]] const char* to_string(PlanSpec spec);
+[[nodiscard]] std::optional<PlanSpec> plan_spec_from(std::string_view name);
+
+struct RunConfig {
+  load::Substrate substrate = load::Substrate::kCharlotte;
+  sim::TieBreak tie = sim::TieBreak::kFifo;
+  // Seeds the tie-break permutation AND the medium randomness.
+  std::uint64_t seed = 1;
+  // Permuted schedule prefix (sim::TiePolicy::horizon); lowered by the
+  // shrinker, kNoHorizon = permute the whole run.
+  std::uint64_t horizon = sim::TiePolicy::kNoHorizon;
+  PlanSpec plan = PlanSpec::kNone;
+  // Independent links between the pair, each driven by its own client
+  // thread and served by its own server thread.  Concurrent channels
+  // with identical runtime costs are what create same-instant ties for
+  // the permutation policy to explore; 1 degenerates to a sequential
+  // run with (almost) nothing to permute.
+  int channels = 2;
+  int calls = 4;  // per channel
+  std::size_t bytes = 32;
+  // Arms charlotte::Costs::debug_drop_reacks — the deliberately
+  // injected semantic bug the checker's self-test must catch.
+  bool inject_reack_bug = false;
+};
+
+struct RunVerdict {
+  bool ok = false;
+  std::string failure;  // empty iff ok; first oracle to object wins
+  std::optional<Divergence> divergence;  // when the reference model objected
+  std::uint64_t trace_digest = 0;
+  std::uint64_t records = 0;
+  std::uint64_t calls_checked = 0;
+};
+
+// Builds the universe for `cfg`, runs it to completion, and applies the
+// oracles.  Deterministic: same RunConfig => same RunVerdict (and same
+// trace digest).
+[[nodiscard]] RunVerdict run_one(const RunConfig& cfg);
+
+// ---- repro tokens ----------------------------------------------------
+// One-line JSON, e.g.
+//   {"v":1,"substrate":"charlotte","tie":"perm","seed":17,"horizon":42,
+//    "plan":"ack-storm","channels":2,"calls":4,"bytes":32,"bug":1}
+// "horizon" and "bug" are omitted when at their defaults.
+[[nodiscard]] std::string to_json(const RunConfig& cfg);
+[[nodiscard]] std::optional<RunConfig> parse_token(std::string_view json);
+
+// Lowers cfg.horizon to a locally-minimal permuted prefix that still
+// fails (exponential envelope + bisection; the result is verified
+// failing).  Horizon 0 means the failure reproduces in pure FIFO order,
+// i.e. it is schedule-independent.  FIFO configs are returned as-is.
+// Each probe is counted into *runs.
+[[nodiscard]] RunConfig shrink(const RunConfig& failing, std::uint64_t* runs);
+
+struct FailureReport {
+  RunConfig config;     // as first seen (full horizon)
+  RunConfig minimized;  // after shrinking (== config when not shrunk)
+  RunVerdict verdict;   // of the minimized config
+  [[nodiscard]] std::string token() const { return to_json(minimized); }
+};
+
+struct ExploreOptions {
+  std::vector<load::Substrate> substrates = {load::Substrate::kCharlotte,
+                                             load::Substrate::kSoda,
+                                             load::Substrate::kChrysalis};
+  std::vector<sim::TieBreak> policies = {sim::TieBreak::kFifo,
+                                         sim::TieBreak::kSeededPermutation};
+  std::uint64_t seeds = 100;
+  std::uint64_t first_seed = 1;
+  std::vector<PlanSpec> plans = {PlanSpec::kNone};
+  int channels = 2;
+  int calls = 4;
+  std::size_t bytes = 32;
+  bool inject_reack_bug = false;  // charlotte universes only
+  bool shrink_failures = true;
+};
+
+struct ExploreResult {
+  std::uint64_t runs = 0;         // exploration runs (excl. shrink probes)
+  std::uint64_t shrink_runs = 0;  // extra runs spent shrinking
+  std::vector<FailureReport> failures;
+};
+
+// Sweeps the cross product.  Fault plans are skipped on Chrysalis (its
+// processes share one Butterfly memory; there is no medium to impair),
+// as is the injected re-ack bug outside Charlotte.
+[[nodiscard]] ExploreResult explore(const ExploreOptions& opts);
+
+}  // namespace check

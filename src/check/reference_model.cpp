@@ -1,0 +1,266 @@
+#include "check/reference_model.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace check {
+
+namespace {
+
+constexpr std::size_t kMaxHistory = 48;  // causal context kept per trace
+
+std::string format_time(sim::Time at) {
+  std::ostringstream os;
+  os << sim::to_usec(at) << "us";
+  return os.str();
+}
+
+}  // namespace
+
+std::string Divergence::render() const {
+  std::ostringstream os;
+  os << "divergence [" << rule << "] at " << format_time(at) << " seq=" << seq
+     << " trace=" << trace << ": " << detail;
+  if (!context.empty()) {
+    os << "\n  causal context (trace " << trace << "):";
+    for (const std::string& line : context) os << "\n    " << line;
+  }
+  return os.str();
+}
+
+bool ReferenceModel::replay(const trace::Recorder& rec) {
+  divergence_.reset();
+  rpcs_.clear();
+  open_spans_.clear();
+  untraced_history_.clear();
+  records_ = 0;
+  calls_ = 0;
+
+  if (rec.overwritten() != 0) {
+    Divergence d;
+    d.rule = "ring-overflow";
+    d.detail = "recorder dropped " + std::to_string(rec.overwritten()) +
+               " records; conformance needs the full stream (raise "
+               "ring_capacity)";
+    divergence_ = std::move(d);
+    return false;
+  }
+
+  for (const trace::Record& r : rec.snapshot()) {
+    feed(r, rec);
+    if (divergence_.has_value()) return false;
+  }
+  finish();
+  return !divergence_.has_value();
+}
+
+std::string ReferenceModel::render(const trace::Record& r,
+                                   const std::string& label,
+                                   const char* what) {
+  std::ostringstream os;
+  os << "[" << format_time(r.at) << "] seq=" << r.seq << " node=" << r.node
+     << " " << what << " " << label;
+  if (r.a != 0) os << " a=" << r.a;
+  return os.str();
+}
+
+ReferenceModel::RpcState& ReferenceModel::state_of(std::uint64_t trace) {
+  return rpcs_[trace];
+}
+
+void ReferenceModel::diverge(const trace::Record& r, std::string rule,
+                             std::string detail) {
+  if (divergence_.has_value()) return;  // first divergence wins
+  Divergence d;
+  d.seq = r.seq;
+  d.at = r.at;
+  d.trace = r.trace;
+  d.rule = std::move(rule);
+  d.detail = std::move(detail);
+  if (r.trace != 0) {
+    auto it = rpcs_.find(r.trace);
+    if (it != rpcs_.end()) d.context = it->second.history;
+  } else {
+    d.context = untraced_history_;
+  }
+  divergence_ = std::move(d);
+}
+
+void ReferenceModel::feed(const trace::Record& r, const trace::Recorder& rec) {
+  ++records_;
+
+  // Resolve the (label, trace) this record talks about.  Span ends carry
+  // only the span id, so they are attributed via the begin that opened
+  // them; everything not on the runtime track is outside the model.
+  std::string label;
+  std::uint64_t trace = r.trace;
+  bool runtime = false;
+  bool is_end = false;
+
+  switch (r.kind) {
+    case trace::Kind::kSpanBegin:
+    case trace::Kind::kInstant:
+      runtime = rec.track_name(r.track) == "runtime";
+      if (runtime) label = rec.label_name(r.label);
+      if (r.kind == trace::Kind::kSpanBegin && runtime) {
+        open_spans_[r.span] = {label, trace};
+      }
+      break;
+    case trace::Kind::kSpanEnd: {
+      auto it = open_spans_.find(r.span);
+      if (it == open_spans_.end()) return;  // end of a non-runtime span
+      label = it->second.first;
+      trace = it->second.second;
+      open_spans_.erase(it);
+      runtime = true;
+      is_end = true;
+      break;
+    }
+    default:
+      return;  // text / context records carry no RPC semantics
+  }
+  if (!runtime) return;
+
+  // Instants are checked even with trace == 0: an error raised outside
+  // any call's causal chain (e.g. "call on destroyed link" before a
+  // trace is allocated) is still an error the scenario must expect.
+  if (r.kind == trace::Kind::kInstant) {
+    RpcState* st = trace != 0 ? &state_of(trace) : nullptr;
+    if (st != nullptr && st->history.size() < kMaxHistory) {
+      st->history.push_back(render(r, label, "instant"));
+    } else if (st == nullptr && untraced_history_.size() < kMaxHistory) {
+      untraced_history_.push_back(render(r, label, "instant"));
+    }
+    if (label == "rpc.error") {
+      const auto kind = static_cast<lynx::ErrorKind>(r.a);
+      if (st != nullptr) st->failed = true;
+      if (!expectation_.allows(kind)) {
+        diverge(r, "error-surface",
+                std::string("rpc failed with disallowed error kind '") +
+                    lynx::to_string(kind) + "'");
+      }
+    } else if (label == "req.reject") {
+      if (st != nullptr) st->rejected = true;
+      if (!expectation_.allow_rejects) {
+        diverge(r, "screening",
+                "kernel screened out a request, but the scenario declares "
+                "every operation it calls");
+      }
+    } else if (label == "link.dead") {
+      if (!expectation_.allow_link_death) {
+        diverge(r, "link-death",
+                "a link death notice in a scenario whose processes all "
+                "outlive the run (spurious failure declaration?)");
+      }
+    }
+    return;
+  }
+  if (trace == 0) return;
+
+  RpcState& st = state_of(trace);
+  if (st.history.size() < kMaxHistory) {
+    st.history.push_back(render(r, label, is_end ? "end" : "begin"));
+  }
+
+  if (is_end) {
+    if (label == "call") {
+      st.call_open = false;
+      if (!st.failed && !st.rejected &&
+          !(st.served && st.reply_sent && st.scatter)) {
+        diverge(r, "completion",
+                "call completed without error but the reference model saw "
+                "no full serve/reply/scatter chain (served=" +
+                    std::to_string(st.served) +
+                    " replied=" + std::to_string(st.reply_sent) +
+                    " scattered=" + std::to_string(st.scatter) + ")");
+      }
+    }
+    return;
+  }
+
+  // kSpanBegin on the runtime track: the phase machine.
+  if (label == "call") {
+    ++calls_;
+    if (st.call_begun && expectation_.unique_traces) {
+      diverge(r, "unique-call",
+              "second call span on one causal trace (trace ids are "
+              "per-call in this scenario)");
+    }
+    st.call_begun = true;
+    st.call_open = true;
+  } else if (label == "call.gather") {
+    if (!st.call_open) {
+      diverge(r, "phase-order", "argument gather outside an open call span");
+    }
+    st.gather = true;
+  } else if (label == "call.send") {
+    if (!st.call_open || !st.gather) {
+      diverge(r, "phase-order", "request send before argument gather");
+    }
+    st.send = true;
+  } else if (label == "call.wait") {
+    if (!st.call_open || !st.send) {
+      diverge(r, "phase-order", "reply wait before request send");
+    }
+    st.wait = true;
+  } else if (label == "call.scatter") {
+    if (!st.call_open || !st.wait) {
+      diverge(r, "phase-order", "reply scatter before reply wait");
+    } else if (!st.reply_sent) {
+      diverge(r, "reply-consumption",
+              "client scattered a reply the server never sent");
+    }
+    st.scatter = true;
+  } else if (label == "recv.scatter") {
+    if (!st.send) {
+      diverge(r, "service-after-send",
+              "request serviced before any client sent it");
+    } else if (st.served) {
+      diverge(r, "single-delivery",
+              "request serviced twice — a retransmit or duplicate leaked "
+              "through the kernel's dedup/screening machinery");
+    }
+    st.served = true;
+  } else if (label == "reply.gather") {
+    if (!st.served) {
+      diverge(r, "reply-after-serve",
+              "reply gathered for a request never serviced");
+    }
+  } else if (label == "reply.send") {
+    if (!st.served) {
+      diverge(r, "reply-after-serve",
+              "reply sent for a request never serviced");
+    } else if (st.reply_sent) {
+      diverge(r, "reply-after-serve", "second reply for one request");
+    }
+    st.reply_sent = true;
+  }
+}
+
+void ReferenceModel::finish() {
+  if (divergence_.has_value() || !expectation_.require_completion) return;
+  // Deterministic pick: report the lowest trace id left incomplete.
+  const RpcState* worst = nullptr;
+  std::uint64_t worst_trace = 0;
+  for (const auto& [trace, st] : rpcs_) {
+    if (!st.call_begun) continue;
+    const bool done = !st.call_open;
+    if (done) continue;
+    if (worst == nullptr || trace < worst_trace) {
+      worst = &st;
+      worst_trace = trace;
+    }
+  }
+  if (worst != nullptr) {
+    Divergence d;
+    d.trace = worst_trace;
+    d.rule = "incomplete-call";
+    d.detail =
+        "a call span never closed: the run ended with an RPC still in "
+        "flight";
+    d.context = worst->history;
+    divergence_ = std::move(d);
+  }
+}
+
+}  // namespace check

@@ -1,0 +1,154 @@
+// Executable reference model of LYNX link/RPC semantics.
+//
+// The paper's central claim is semantic: all three substrates must
+// present *identical* LYNX semantics despite radically different kernel
+// interfaces.  This model is the single, substrate-independent
+// definition of "identical": it replays the runtime-track trace stream
+// of a finished run (the spans and instants src/lynx/runtime.cpp emits
+// — call / call.gather / call.send / call.wait / call.scatter on the
+// client, recv.scatter / reply.gather / reply.send on the server, plus
+// rpc.error / req.reject / link.dead instants) and checks every event
+// against the §2.1/§2.2 contract:
+//
+//   R1 unique-call        one call span per causal trace (the explorer
+//                         never reuses trace contexts)
+//   R2 phase-order        gather -> send -> wait -> scatter, inside an
+//                         open call span
+//   R3 service-after-send a request is serviced only after its send
+//                         span began (no service without a request)
+//   R4 single-delivery    each request is serviced at most once — the
+//                         screening / dedup machinery of every kernel
+//                         must collapse retransmits and duplicates
+//   R5 reply-after-serve  a reply is produced only for a serviced
+//                         request, and only once
+//   R6 reply-consumption  the client consumes a reply only after the
+//                         server produced one (or screening rejected
+//                         the request)
+//   R7 completion         a call that ends without an error consumed
+//                         exactly one served reply
+//   R8 error-surface      every rpc.error carries an ErrorKind the
+//                         scenario's Expectation allows (an empty allow
+//                         list means a clean run must be error-free) —
+//                         including errors raised outside any call's
+//                         causal chain (trace 0)
+//   R9 screening          req.reject appears only in scenarios that
+//                         send undeclared operations
+//   R10 link-death        opt-in: "link.dead" is ordinarily legitimate
+//                         (a process whose last thread exits terminates
+//                         and destroys its links — §2.1 — so the peer
+//                         of an earlier finisher always sees it), but
+//                         scenarios that keep every process alive for
+//                         the whole window can forbid it
+//
+// Because trace emission order equals simulated causality order (one
+// engine, one recorder, monotone seq), checking the merged stream
+// online yields the FIRST divergent event, reported with the causal
+// context of its trace.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lynx/errors.hpp"
+#include "sim/time.hpp"
+#include "trace/trace.hpp"
+
+namespace check {
+
+// What the scenario permits.  Defaults describe a clean run: unique
+// causal chains, no screening rejects, no errors of any kind, and every
+// call driven to completion.
+struct Expectation {
+  bool unique_traces = true;
+  bool allow_rejects = false;
+  bool require_completion = true;
+  // "link.dead" instants are allowed by default: orderly termination
+  // destroys links (§2.1), so whichever process finishes first makes
+  // its peer observe one.  A spurious death that actually breaks
+  // traffic still surfaces as rpc.error (R8) or an incomplete call.
+  // Scenarios whose processes all outlive the window can set this
+  // false to treat any death notice as a divergence.
+  bool allow_link_death = true;
+  std::vector<lynx::ErrorKind> allowed_errors;
+
+  [[nodiscard]] bool allows(lynx::ErrorKind kind) const {
+    for (lynx::ErrorKind k : allowed_errors) {
+      if (k == kind) return true;
+    }
+    return false;
+  }
+};
+
+// The first event at which the observed stream left the model, with the
+// causal history of its trace.
+struct Divergence {
+  std::uint64_t seq = 0;
+  sim::Time at = 0;
+  std::uint64_t trace = 0;
+  std::string rule;    // short rule id, e.g. "single-delivery"
+  std::string detail;  // one human sentence
+  std::vector<std::string> context;  // rendered same-trace events, oldest first
+
+  [[nodiscard]] std::string render() const;
+};
+
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(Expectation expectation = {})
+      : expectation_(expectation) {}
+
+  // Replays the recorder's retained stream in emission order and then
+  // applies the end-of-stream checks.  Returns true when the stream
+  // conforms; otherwise divergence() describes the first violation.
+  // The recorder must have retained everything (overwritten() == 0) —
+  // a wrapped ring is itself reported as a divergence ("ring-overflow")
+  // rather than silently passing on partial evidence.
+  bool replay(const trace::Recorder& rec);
+
+  [[nodiscard]] const std::optional<Divergence>& divergence() const {
+    return divergence_;
+  }
+  [[nodiscard]] std::uint64_t records_checked() const { return records_; }
+  [[nodiscard]] std::uint64_t calls_checked() const { return calls_; }
+
+ private:
+  struct RpcState {
+    bool call_begun = false;
+    bool call_open = false;
+    bool gather = false;
+    bool send = false;
+    bool wait = false;
+    bool scatter = false;
+    bool served = false;      // recv.scatter begun (server side)
+    bool reply_sent = false;  // reply.send begun (server side)
+    bool rejected = false;    // req.reject instant (screening)
+    bool failed = false;      // rpc.error instant on this trace
+    std::vector<std::string> history;
+  };
+
+  void feed(const trace::Record& r, const trace::Recorder& rec);
+  void finish();
+  void diverge(const trace::Record& r, std::string rule, std::string detail);
+  RpcState& state_of(std::uint64_t trace);
+  static std::string render(const trace::Record& r, const std::string& label,
+                            const char* what);
+
+  Expectation expectation_;
+  std::optional<Divergence> divergence_;
+  std::unordered_map<std::uint64_t, RpcState> rpcs_;
+  // Runtime-track instants outside any causal chain (trace 0): kept so
+  // a trace-0 divergence still carries its lead-up (e.g. the link.dead
+  // notice that explains a later "call on destroyed link" error).
+  std::vector<std::string> untraced_history_;
+  // span id -> (label name, trace) of runtime-track begins, so ends can
+  // be attributed (kSpanEnd records carry only the span id).
+  std::unordered_map<std::uint64_t, std::pair<std::string, std::uint64_t>>
+      open_spans_;
+  std::uint64_t records_ = 0;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace check

@@ -13,25 +13,69 @@
 #include "common/assert.hpp"
 #include "lynx/charlotte_backend.hpp"
 #include "lynx/chrysalis_backend.hpp"
+#include "lynx/errors.hpp"
 #include "lynx/runtime.hpp"
 #include "lynx/soda_backend.hpp"
 #include "sim/task.hpp"
 
 namespace lynx {
 
+namespace detail {
+
+// Substrate family of a process's backend, or nullptr-equivalent "" for
+// a backend connect_any does not know how to wire.
+[[nodiscard]] inline const char* substrate_tag(Process& p) {
+  if (dynamic_cast<CharlotteBackend*>(&p.backend()) != nullptr) {
+    return "charlotte";
+  }
+  if (dynamic_cast<SodaBackend*>(&p.backend()) != nullptr) return "soda";
+  if (dynamic_cast<ChrysalisBackend*>(&p.backend()) != nullptr) {
+    return "chrysalis";
+  }
+  return "";
+}
+
+}  // namespace detail
+
 // Wires a <-> b with a fresh link and returns (a_end, b_end).  Both
 // processes must sit on the same backend family; run on the engine
 // before traffic, like the per-backend connect it forwards to.
+//
+// Error surface (LynxError, kInvalidLink / kLinkDestroyed): an unknown
+// or mismatched substrate tag, processes on different engines, a
+// terminated process, or an engine already shut down.  Connecting the
+// same pair again is legal and yields a second, independent link.
 [[nodiscard]] inline sim::Task<std::pair<LinkHandle, LinkHandle>> connect_any(
     Process& a, Process& b) {
-  if (dynamic_cast<CharlotteBackend*>(&a.backend()) != nullptr) {
+  if (&a.engine() != &b.engine()) {
+    throw LynxError(ErrorKind::kInvalidLink,
+                    "connect_any: processes on different engines");
+  }
+  if (a.engine().is_shut_down()) {
+    throw LynxError(ErrorKind::kLinkDestroyed,
+                    "connect_any: engine already shut down");
+  }
+  if (a.terminated() || b.terminated()) {
+    throw LynxError(ErrorKind::kLinkDestroyed,
+                    "connect_any: process already terminated");
+  }
+  const std::string tag_a = detail::substrate_tag(a);
+  const std::string tag_b = detail::substrate_tag(b);
+  if (tag_a.empty() || tag_b.empty()) {
+    throw LynxError(ErrorKind::kInvalidLink,
+                    "connect_any: unknown substrate tag");
+  }
+  if (tag_a != tag_b) {
+    throw LynxError(ErrorKind::kInvalidLink,
+                    "connect_any: mismatched substrates (" + tag_a + " vs " +
+                        tag_b + ")");
+  }
+  if (tag_a == "charlotte") {
     co_return co_await CharlotteBackend::connect(a, b);
   }
-  if (dynamic_cast<SodaBackend*>(&a.backend()) != nullptr) {
+  if (tag_a == "soda") {
     co_return co_await SodaBackend::connect(a, b);
   }
-  RELYNX_ASSERT_MSG(dynamic_cast<ChrysalisBackend*>(&a.backend()) != nullptr,
-                    "connect_any: unknown backend");
   co_return co_await ChrysalisBackend::connect(a, b);
 }
 

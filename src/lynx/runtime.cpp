@@ -6,6 +6,24 @@
 
 namespace lynx {
 
+namespace {
+
+// Conformance-visible error surface.  Every LynxError a thread can feel
+// is announced as an "rpc.error" instant (a = ErrorKind) on the runtime
+// track before it is thrown, so the reference model (src/check/) can
+// judge whether the error was legal in the scenario being explored.
+[[noreturn]] void throw_traced(trace::Recorder* rec, std::uint32_t node,
+                               std::uint64_t trace, ErrorKind kind,
+                               const std::string& detail) {
+  if (rec != nullptr) {
+    rec->instant(node, "runtime", "rpc.error", trace,
+                 static_cast<std::uint64_t>(kind));
+  }
+  throw LynxError(kind, detail);
+}
+
+}  // namespace
+
 // ===================== Process =====================
 
 Process::Process(sim::Engine& engine, std::string name,
@@ -160,6 +178,13 @@ void Process::on_backend_event(BackendEvent ev) {
 
       if (ev.kind == BackendEvent::Kind::kRequestArrived) {
         if (!declared_ops_.empty() && !declared_ops_.contains(d.msg.op)) {
+          // Screening surface for the conformance checker: the request
+          // never reaches receive(); the caller will feel
+          // kOperationRejected instead of a served reply.
+          if (auto* rec = trace::get(*engine_)) {
+            rec->instant(backend_->trace_node(), "runtime", "req.reject",
+                         ev.trace);
+          }
           // Reject: return a %reject reply carrying the enclosures back.
           Message reject;
           reject.op = "%reject";
@@ -209,6 +234,12 @@ void Process::on_backend_event(BackendEvent ev) {
 
     case BackendEvent::Kind::kLinkDestroyed: {
       ls.destroyed = true;
+      // Death notice surface: a later kLinkDestroyed rpc.error on this
+      // process is explained by this instant (a = backend link token).
+      if (auto* rec = trace::get(*engine_)) {
+        rec->instant(backend_->trace_node(), "runtime", "link.dead",
+                     ev.trace, ev.link.value());
+      }
       if (ls.active_call != nullptr) {
         ls.active_call->failed = true;
         ls.active_call->error = ErrorKind::kLinkDestroyed;
@@ -265,7 +296,8 @@ void ThreadCtx::check_abort() {
   auto& ts = proc_->threads_.at(id_);
   if (ts.abort_requested) {
     ts.abort_requested = false;
-    throw LynxError(ErrorKind::kAborted, "thread aborted");
+    throw_traced(trace::get(engine()), proc_->backend_->trace_node(), 0,
+                 ErrorKind::kAborted, "thread aborted");
   }
 }
 
@@ -310,10 +342,13 @@ void ThreadCtx::disable_requests(LinkHandle link) {
 sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
   check_abort();
   Process& p = *proc_;
+  trace::Recorder* rec = trace::get(engine());
+  const std::uint32_t tnode = p.backend_->trace_node();
   {
     Process::LinkState& ls = p.require_link(link);
     if (ls.destroyed) {
-      throw LynxError(ErrorKind::kLinkDestroyed, "call on destroyed link");
+      throw_traced(rec, tnode, 0, ErrorKind::kLinkDestroyed,
+                   "call on destroyed link");
     }
     // One outstanding call per link: later callers queue (their sends
     // would violate stop-and-wait anyway).  The claim is taken
@@ -322,7 +357,8 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
     while (true) {
       Process::LinkState* cur = p.find_link(link);
       if (cur == nullptr || cur->destroyed) {
-        throw LynxError(ErrorKind::kLinkDestroyed, "link vanished");
+        throw_traced(rec, tnode, 0, ErrorKind::kLinkDestroyed,
+                     "link vanished");
       }
       if (!cur->call_claimed && cur->active_call == nullptr &&
           cur->sends_in_flight == 0) {
@@ -338,8 +374,6 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
   // otherwise start a fresh trace for this operation.  The id rides in
   // the WireMessage and comes back with the reply, so every kernel frame
   // and fault event in between is attributable to this call.
-  trace::Recorder* rec = trace::get(engine());
-  const std::uint32_t tnode = p.backend_->trace_node();
   std::uint64_t call_trace = p.threads_.at(id_).trace_ctx;
   if (rec != nullptr && call_trace == 0) call_trace = rec->new_trace();
   trace::SpanScope call_span(rec, tnode, "runtime", "call", call_trace);
@@ -405,7 +439,8 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
       }
       if (auto* cur = p.find_link(link)) p.refresh_interest(*cur);
       ts.abort_requested = false;
-      throw LynxError(ErrorKind::kAborted, "request aborted in flight");
+      throw_traced(rec, tnode, call_trace, ErrorKind::kAborted,
+                   "request aborted in flight");
     }
     case SendResult::kLinkDestroyed: {
       auto* cur = p.find_link(link);
@@ -415,7 +450,8 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
       // the link itself, afterwards) was lost.  Hand the caller its
       // reply; the destroyed link bites on the NEXT use.
       if (cur == nullptr || cur->reply_q.empty()) {
-        throw LynxError(ErrorKind::kLinkDestroyed, "request undeliverable");
+        throw_traced(rec, tnode, call_trace, ErrorKind::kLinkDestroyed,
+                     "request undeliverable");
       }
       break;
     }
@@ -427,7 +463,8 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
   trace::SpanScope wait_span(rec, tnode, "runtime", "call.wait", call_trace);
   Process::LinkState* lsp = p.find_link(link);
   if (lsp == nullptr || (lsp->destroyed && lsp->reply_q.empty())) {
-    throw LynxError(ErrorKind::kLinkDestroyed, "link died before reply");
+    throw_traced(rec, tnode, call_trace, ErrorKind::kLinkDestroyed,
+                 "link died before reply");
   }
   Process::Delivered reply_msg{};
   if (!lsp->reply_q.empty()) {
@@ -448,7 +485,8 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
     }
     if (call_rec.failed) {
       if (call_rec.error == ErrorKind::kAborted) ts.abort_requested = false;
-      throw LynxError(call_rec.error, "call failed awaiting reply");
+      throw_traced(rec, tnode, call_trace, call_rec.error,
+                   "call failed awaiting reply");
     }
     RELYNX_ASSERT(call_rec.reply.has_value());
     reply_msg = std::move(*call_rec.reply);
@@ -463,12 +501,13 @@ sim::Task<Message> ThreadCtx::call(LinkHandle link, Message request) {
       p.costs_.per_byte *
           static_cast<sim::Duration>(reply_msg.raw_body.size()));
   if (reply_msg.msg.op == "%reject") {
-    throw LynxError(ErrorKind::kOperationRejected, request.op);
+    throw_traced(rec, tnode, call_trace, ErrorKind::kOperationRejected,
+                 request.op);
   }
   if (reply_msg.msg.op != request.op) {
-    throw LynxError(ErrorKind::kTypeClash,
-                    "reply op '" + reply_msg.msg.op + "' for request '" +
-                        request.op + "'");
+    throw_traced(rec, tnode, call_trace, ErrorKind::kTypeClash,
+                 "reply op '" + reply_msg.msg.op + "' for request '" +
+                     request.op + "'");
   }
   scatter_span.end();
   call_span.end();
@@ -482,7 +521,8 @@ sim::Task<Incoming> ThreadCtx::receive() {
   for (;;) {
     check_abort();
     if (p.terminated_) {
-      throw LynxError(ErrorKind::kLinkDestroyed, "process terminated");
+      throw_traced(trace::get(engine()), p.backend_->trace_node(), 0,
+                   ErrorKind::kLinkDestroyed, "process terminated");
     }
     // Fair scan: rotate over links, starting past the last served one.
     const std::size_t n = p.fair_order_.size();
@@ -514,8 +554,9 @@ sim::Task<Incoming> ThreadCtx::receive() {
       co_return Incoming{ls->handle, std::move(d.msg), token, d.trace};
     }
     if (any_open && !any_open_alive) {
-      throw LynxError(ErrorKind::kLinkDestroyed,
-                      "all open request queues destroyed");
+      throw_traced(trace::get(engine()), p.backend_->trace_node(), 0,
+                   ErrorKind::kLinkDestroyed,
+                   "all open request queues destroyed");
     }
     co_await p.receive_waiters_->wait();
   }
@@ -524,19 +565,20 @@ sim::Task<Incoming> ThreadCtx::receive() {
 sim::Task<void> ThreadCtx::reply(const Incoming& incoming, Message reply_msg) {
   check_abort();
   Process& p = *proc_;
+  trace::Recorder* rec = trace::get(engine());
+  const std::uint32_t tnode = p.backend_->trace_node();
   auto owed = p.owed_.find(incoming.token);
   if (owed == p.owed_.end()) {
-    throw LynxError(ErrorKind::kInvalidLink, "no such reply obligation");
+    throw_traced(rec, tnode, incoming.trace, ErrorKind::kInvalidLink,
+                 "no such reply obligation");
   }
   const LinkHandle link = owed->second;
   Process::LinkState* ls = p.find_link(link);
   if (ls == nullptr || ls->destroyed) {
     p.owed_.erase(owed);
-    throw LynxError(ErrorKind::kLinkDestroyed, "reply on destroyed link");
+    throw_traced(rec, tnode, incoming.trace, ErrorKind::kLinkDestroyed,
+                 "reply on destroyed link");
   }
-
-  trace::Recorder* rec = trace::get(engine());
-  const std::uint32_t tnode = p.backend_->trace_node();
 
   reply_msg.op = incoming.msg.op;  // replies answer the operation called
   trace::SpanScope gather_span(rec, tnode, "runtime", "reply.gather",
@@ -573,13 +615,16 @@ sim::Task<void> ThreadCtx::reply(const Incoming& incoming, Message reply_msg) {
       ++p.ops_;
       co_return;
     case SendResult::kCancelled:
-      throw LynxError(ErrorKind::kAborted, "reply aborted in flight");
+      throw_traced(rec, tnode, incoming.trace, ErrorKind::kAborted,
+                   "reply aborted in flight");
     case SendResult::kLinkDestroyed:
-      throw LynxError(ErrorKind::kLinkDestroyed, "reply undeliverable");
+      throw_traced(rec, tnode, incoming.trace, ErrorKind::kLinkDestroyed,
+                   "reply undeliverable");
     case SendResult::kReplyUnwanted:
       // Capability (4): SODA/Chrysalis backends detect an aborted
       // caller; the server feels the exception the language defines.
-      throw LynxError(ErrorKind::kReplyUnwanted, incoming.msg.op);
+      throw_traced(rec, tnode, incoming.trace, ErrorKind::kReplyUnwanted,
+                   incoming.msg.op);
   }
 }
 

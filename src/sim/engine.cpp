@@ -6,6 +6,38 @@
 
 namespace sim {
 
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* to_string(TieBreak tie_break) {
+  switch (tie_break) {
+    case TieBreak::kFifo: return "fifo";
+    case TieBreak::kSeededPermutation: return "perm";
+    case TieBreak::kPriorityFuzz: return "fuzz";
+  }
+  return "?";
+}
+
+std::uint64_t Engine::tie_key(std::uint64_t seq) const {
+  if (tie_policy_.kind == TieBreak::kFifo || seq >= tie_policy_.horizon) {
+    return seq;
+  }
+  const std::uint64_t h = splitmix64(tie_policy_.seed ^ seq);
+  if (tie_policy_.kind == TieBreak::kSeededPermutation) return h;
+  // kPriorityFuzz: a seeded quarter of events get random keys.  Hash
+  // keys are almost always larger than sequence numbers, so fuzzed
+  // events are demoted behind their same-instant FIFO peers.
+  return (h & 3) == 0 ? h : seq;
+}
+
 Engine::~Engine() { shutdown(); }
 
 void Engine::shutdown() {
@@ -26,6 +58,7 @@ void Engine::shutdown() {
   queue_.clear();
   cancelled_ = 0;
   live_ = 0;
+  shut_down_ = true;
 }
 
 void Engine::push_event(Event ev) {
@@ -66,12 +99,14 @@ void Engine::compact() {
 
 void Engine::schedule(Duration delay, std::function<void()> fn) {
   RELYNX_ASSERT_MSG(delay >= 0, "cannot schedule into the past");
-  push_event(Event{now_ + delay, next_seq_++, std::move(fn), nullptr});
+  const std::uint64_t seq = next_seq_++;
+  push_event(Event{now_ + delay, seq, tie_key(seq), std::move(fn), nullptr});
 }
 
 void Engine::schedule_at(Time t, std::function<void()> fn) {
   RELYNX_ASSERT_MSG(t >= now_, "cannot schedule into the past");
-  push_event(Event{t, next_seq_++, std::move(fn), nullptr});
+  const std::uint64_t seq = next_seq_++;
+  push_event(Event{t, seq, tie_key(seq), std::move(fn), nullptr});
 }
 
 TimerHandle Engine::schedule_cancellable(Duration delay,
@@ -79,7 +114,8 @@ TimerHandle Engine::schedule_cancellable(Duration delay,
   RELYNX_ASSERT_MSG(delay >= 0, "cannot schedule into the past");
   auto alive = std::make_shared<bool>(true);
   TimerHandle handle(this, alive);
-  push_event(Event{now_ + delay, next_seq_++, std::move(fn),
+  const std::uint64_t seq = next_seq_++;
+  push_event(Event{now_ + delay, seq, tie_key(seq), std::move(fn),
                    std::move(alive)});
   return handle;
 }

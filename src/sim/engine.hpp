@@ -32,6 +32,37 @@ namespace sim {
 
 class Engine;
 
+// How the engine orders events scheduled for the *same* instant.  The
+// comparator is always (time, key, seq); the policy only chooses the
+// key, so every policy yields a total, reproducible order.
+enum class TieBreak : std::uint8_t {
+  // key = seq: same-instant events fire in scheduling order (the seed
+  // behaviour, bit-identical to the historical comparator).
+  kFifo = 0,
+  // key = hash(seed, seq): same-instant events fire in a seeded
+  // pseudo-random permutation.  One seed selects one interleaving; the
+  // schedule-exploration checker (src/check/) sweeps seeds to search
+  // the space of legal orders.
+  kSeededPermutation,
+  // key = seq for most events, hash for a seeded quarter of them: FIFO
+  // order with a minority of events demoted to random priorities —
+  // gentler perturbation that keeps long causal chains mostly intact.
+  kPriorityFuzz,
+};
+
+[[nodiscard]] const char* to_string(TieBreak tie_break);
+
+struct TiePolicy {
+  static constexpr std::uint64_t kNoHorizon = ~0ull;
+
+  TieBreak kind = TieBreak::kFifo;
+  std::uint64_t seed = 0;
+  // Events whose scheduling sequence number is >= horizon fall back to
+  // FIFO keys.  The explorer's shrinker lowers this to find the
+  // shortest permuted schedule prefix that still reproduces a failure.
+  std::uint64_t horizon = kNoHorizon;
+};
+
 // Cancellable handle to a scheduled event (retry timers and the like).
 // Cancelling tells the engine, which reclaims dead events eagerly (see
 // Engine::note_cancelled) instead of carrying their closures until fire
@@ -59,6 +90,14 @@ class Engine {
 
   [[nodiscard]] Time now() const { return now_; }
 
+  // -- same-instant tie-break ------------------------------------------
+  // Tie-break keys are computed when an event is scheduled, so for a
+  // reproducible run set the policy before anything is scheduled (the
+  // checker sets it immediately after constructing the engine).  The
+  // default FIFO policy reproduces the historical order exactly.
+  void set_tie_policy(TiePolicy policy) { tie_policy_ = policy; }
+  [[nodiscard]] const TiePolicy& tie_policy() const { return tie_policy_; }
+
   // -- raw event interface --------------------------------------------
   void schedule(Duration delay, std::function<void()> fn);
   TimerHandle schedule_cancellable(Duration delay, std::function<void()> fn);
@@ -79,6 +118,9 @@ class Engine {
   // local destructors): call this while those objects are still alive
   // instead of relying on ~Engine, which may run after them.  Idempotent.
   void shutdown();
+  // True once shutdown() has run: the engine is inert and rejects new
+  // bootstrap work (lynx::connect_any checks this).
+  [[nodiscard]] bool is_shut_down() const { return shut_down_; }
 
   // -- coroutine processes ----------------------------------------------
   // Starts `body` as a detached simulated process at the current time.
@@ -133,16 +175,19 @@ class Engine {
   struct Event {
     Time at;
     std::uint64_t seq;
+    std::uint64_t key;  // same-instant tie-break (== seq under FIFO)
     std::function<void()> fn;
     std::shared_ptr<bool> alive;  // null for non-cancellable events
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at > b.at;
+      if (a.key != b.key) return a.key > b.key;
       return a.seq > b.seq;
     }
   };
 
+  [[nodiscard]] std::uint64_t tie_key(std::uint64_t seq) const;
   void push_event(Event ev);
   Event pop_event();
   // Drops cancelled events sitting at the head of the queue; afterwards
@@ -165,6 +210,8 @@ class Engine {
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
+  TiePolicy tie_policy_{};
+  bool shut_down_ = false;
   // Binary heap managed with std::push_heap/pop_heap so compact() can
   // filter the underlying vector (std::priority_queue hides it).
   std::vector<Event> queue_;

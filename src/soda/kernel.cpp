@@ -435,6 +435,11 @@ sim::Task<Result<Payload>> Kernel::accept(Pid caller, ReqId request, Oob oob,
   }
   ParkedRequest parked = std::move(it->second);
   parked_.erase(it);
+  // Claim the request the instant it leaves parked_: the accept's local
+  // processing below takes simulated time, and a retransmitted ReqFrag
+  // landing in that window would otherwise pass the duplicate check in
+  // handle(ReqFrag) and be parked — and serviced — a second time.
+  note_done(request);
 
   const std::size_t take = std::min(parked.data.size(), recv_limit);
   Payload taken(parked.data.begin(),
@@ -461,7 +466,6 @@ sim::Task<Result<Payload>> Kernel::accept(Pid caller, ReqId request, Oob oob,
                    {},
                    parked.trace};
   send_accept_frags(pa);
-  note_done(request);
   if (acks_enabled()) {
     pending_accepts_.emplace(request, std::move(pa));
     arm_accept_timer(request);

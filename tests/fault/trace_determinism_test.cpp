@@ -69,8 +69,13 @@ struct RunResult {
 
 // One chaos universe: the sweep scenario from chaos_test.cpp with a
 // Recorder attached.  Returns the digests that must be reproducible.
-RunResult run_universe(std::uint64_t seed) {
+// `tie` selects the engine's same-instant tie-break policy — determinism
+// must hold under schedule exploration too, where the seed additionally
+// permutes simultaneous events (sim::TieBreak::kSeededPermutation).
+RunResult run_universe(std::uint64_t seed,
+                       sim::TieBreak tie = sim::TieBreak::kFifo) {
   sim::Engine e;
+  e.set_tie_policy({.kind = tie, .seed = seed});
   trace::Recorder rec(e);
   net::CsmaBus bus(e, sim::Rng(7));
   FaultyMedium fm(e, bus, seed,
@@ -133,6 +138,15 @@ TEST(TraceDeterminism, SweepSeedsReproduceDigests) {
     ASSERT_NE(a.trace_digest, trace::Recorder::kEmptyDigest)
         << "seed " << seed;
     distinct.insert(a.trace_digest);
+
+    // The same universe under seeded-permutation tie-break: still a pure
+    // function of (seed, plan, policy), run after run.  The explorer's
+    // shrinker and repro tokens depend on exactly this property.
+    const RunResult pa = run_universe(seed, sim::TieBreak::kSeededPermutation);
+    const RunResult pb = run_universe(seed, sim::TieBreak::kSeededPermutation);
+    ASSERT_EQ(pa.trace_digest, pb.trace_digest) << "perm seed " << seed;
+    ASSERT_EQ(pa.fault_digest, pb.fault_digest) << "perm seed " << seed;
+    ASSERT_EQ(pa.emitted, pb.emitted) << "perm seed " << seed;
 
     const RunResult la = run_load_universe(seed);
     const RunResult lb = run_load_universe(seed);

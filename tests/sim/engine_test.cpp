@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -244,6 +245,101 @@ TEST(EngineTest, CancelAfterFireIsHarmless) {
   EXPECT_EQ(e.queue_size(), 0u);
 }
 
+TEST(EngineTest, DefaultConstructedTimerHandleIsInert) {
+  // A handle that never named an event: not pending, and cancel() is a
+  // safe no-op (twice, for good measure) with no engine attached.
+  TimerHandle t;
+  EXPECT_FALSE(t.pending());
+  t.cancel();
+  t.cancel();
+  EXPECT_FALSE(t.pending());
+}
+
+TEST(EngineTest, PendingFlipsExactlyAtFireTime) {
+  Engine e;
+  TimerHandle t = e.schedule_cancellable(usec(100), [] {});
+  bool before = false;
+  bool after = false;
+  e.schedule(usec(99), [&] { before = t.pending(); });
+  // Same-instant events fire in schedule order (FIFO), so this observer
+  // runs after the timer's own callback at t=100us.
+  e.schedule(usec(100), [&] { after = t.pending(); });
+  e.run();
+  EXPECT_TRUE(before);
+  EXPECT_FALSE(after);
+  EXPECT_FALSE(t.pending());
+  t.cancel();  // fired handle: cancel is a no-op
+  EXPECT_EQ(e.cancelled_pending(), 0u);
+}
+
+// ---- same-instant tie-break policies ---------------------------------
+
+namespace {
+
+// Schedules `n` same-instant events under `policy` and returns the
+// order their ids fired in.
+std::vector<int> tie_order(TiePolicy policy, int n) {
+  Engine e;
+  e.set_tie_policy(policy);
+  std::vector<int> order;
+  for (int i = 0; i < n; ++i) {
+    e.schedule(usec(10), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  return order;
+}
+
+}  // namespace
+
+TEST(EngineTieBreak, FifoIsScheduleOrderRegardlessOfSeed) {
+  const std::vector<int> expected{0, 1, 2, 3, 4, 5, 6, 7};
+  for (std::uint64_t seed : {1ull, 2ull, 99ull}) {
+    EXPECT_EQ(tie_order({.kind = TieBreak::kFifo, .seed = seed}, 8), expected);
+  }
+}
+
+TEST(EngineTieBreak, SeededPermutationIsDeterministicPerSeed) {
+  const auto a = tie_order({.kind = TieBreak::kSeededPermutation, .seed = 7}, 8);
+  const auto b = tie_order({.kind = TieBreak::kSeededPermutation, .seed = 7}, 8);
+  EXPECT_EQ(a, b);
+}
+
+TEST(EngineTieBreak, SeededPermutationReordersSameInstantEvents) {
+  // Across a handful of seeds at least one must leave FIFO order, and
+  // every permutation still fires each event exactly once.
+  const std::vector<int> fifo{0, 1, 2, 3, 4, 5, 6, 7};
+  bool any_reordered = false;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    auto order =
+        tie_order({.kind = TieBreak::kSeededPermutation, .seed = seed}, 8);
+    auto sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, fifo) << "seed " << seed;
+    if (order != fifo) any_reordered = true;
+  }
+  EXPECT_TRUE(any_reordered);
+}
+
+TEST(EngineTieBreak, HorizonZeroDegeneratesToFifo) {
+  const std::vector<int> fifo{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(tie_order({.kind = TieBreak::kSeededPermutation, .seed = 7,
+                       .horizon = 0},
+                      8),
+            fifo);
+}
+
+TEST(EngineTieBreak, DistinctTimesAreNeverReordered) {
+  // Tie-break policies only permute *same-instant* events; causality
+  // across distinct times is untouchable.
+  Engine e;
+  e.set_tie_policy({.kind = TieBreak::kSeededPermutation, .seed = 5});
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    e.schedule(usec(10 * (i + 1)), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
 
 }  // namespace
 }  // namespace sim
