@@ -10,7 +10,15 @@
 // SODA-vs-Charlotte break-even in throughput terms.
 //
 // Flags (bench::init): --json-out, --trace-out, --seed, plus --smoke
-// for the CI-sized version (short windows, 3 rates).
+// for the CI-sized version (short windows, 3 rates) and
+// --baseline=PATH to compare the measured Charlotte peak against a
+// checked-in baseline (bench/baselines/): exits nonzero on a >10%
+// regression, so CI catches an ack-protocol slowdown at the PR.
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "harness.hpp"
 #include "load/load.hpp"
 
@@ -109,11 +117,13 @@ void curves_report(bool smoke, sweep::ThreadPool& pool) {
 
 // ---- saturation search -----------------------------------------------------
 
-void capacity_report(bool smoke) {
+// Returns the measured Charlotte peak delivered/s for the baseline gate.
+double capacity_report(bool smoke) {
   table_header("E12: peak sustainable throughput (load::find_capacity)");
   std::printf("%-10s %12s %12s %14s\n", "backend", "peak rate", "delivered/s",
               "p99 bound ms");
   double peaks[3] = {0, 0, 0};
+  double charlotte_tput = 0;
   for (load::Substrate sub : load::all_substrates()) {
     load::CapacityParams p;
     p.rate_lo = smoke ? 8.0 : 4.0;
@@ -121,6 +131,9 @@ void capacity_report(bool smoke) {
     const load::CapacityResult cap =
         load::find_capacity(sub, base_scenario(smoke), p);
     peaks[static_cast<int>(sub)] = cap.peak_rate;
+    if (sub == load::Substrate::kCharlotte) {
+      charlotte_tput = cap.peak_throughput;
+    }
     std::printf("%-10s %12.1f %12.1f %14.2f\n", to_string(sub), cap.peak_rate,
                 cap.peak_throughput, cap.p99_bound_ms);
     json()
@@ -138,6 +151,56 @@ void capacity_report(bool smoke) {
       "SODA must out-sustain Charlotte (paper latency ordering)");
   print_note("every peak is finite, and SODA sustains more than Charlotte —");
   print_note("the paper's latency ordering carries over to capacity.");
+  return charlotte_tput;
+}
+
+// ---- baseline gate ---------------------------------------------------------
+
+// Reads one numeric field out of a flat JSON object, the same
+// hand-rolled idiom as the explorer's repro-token parsing: find the
+// quoted key, skip the colon, strtod the value.  Returns NaN if absent.
+double json_number_field(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nan("");
+  std::size_t p = text.find(':', at + needle.size());
+  if (p == std::string::npos) return std::nan("");
+  return std::strtod(text.c_str() + p + 1, nullptr);
+}
+
+// Compares the measured Charlotte peak against the checked-in baseline.
+// Returns false (CI failure) on a >10% throughput regression.  Better
+// peaks pass with a note: refreshing the baseline file is a deliberate,
+// reviewed act, not something a lucky run does implicitly.
+bool baseline_gate(const std::string& path, double measured) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "baseline gate: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const double expected = json_number_field(buf.str(), "peak_throughput");
+  if (!(expected > 0)) {
+    std::fprintf(stderr, "baseline gate: no peak_throughput in %s\n",
+                 path.c_str());
+    return false;
+  }
+  constexpr double kTolerance = 0.10;
+  const double floor = expected * (1.0 - kTolerance);
+  const bool ok = measured >= floor;
+  std::printf("baseline gate: charlotte peak %.1f/s vs baseline %.1f/s "
+              "(floor %.1f/s): %s\n",
+              measured, expected, floor, ok ? "ok" : "REGRESSION");
+  json()
+      .field("kind", "baseline_check")
+      .field("backend", "charlotte")
+      .field("measured_peak_throughput", measured)
+      .field("baseline_peak_throughput", expected)
+      .field("tolerance", kTolerance)
+      .field("ok", ok ? 1.0 : 0.0)
+      .emit();
+  return ok;
 }
 
 // ---- payload break-even under load (E5 revisited) --------------------------
@@ -222,10 +285,16 @@ BENCHMARK(BM_ChrysalisLoadProbe)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  std::string baseline;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--smoke") {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
       smoke = true;
+      continue;
+    }
+    if (arg.rfind("--baseline=", 0) == 0) {
+      baseline = arg.substr(std::string("--baseline=").size());
       continue;
     }
     argv[kept++] = argv[i];
@@ -235,11 +304,14 @@ int main(int argc, char** argv) {
 
   sweep::ThreadPool pool;
   curves_report(smoke, pool);
-  capacity_report(smoke);
+  const double charlotte_peak = capacity_report(smoke);
   payload_report(smoke, pool);
   traced_run(smoke);
 
+  bool gate_ok = true;
+  if (!baseline.empty()) gate_ok = baseline_gate(baseline, charlotte_peak);
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return gate_ok ? 0 : 1;
 }

@@ -75,12 +75,22 @@ LinkPair Cluster::bootstrap_link(Pid a, Pid b) {
   const EndId e2 = new_end();
   Kernel& ka = kernel(na);
   Kernel& kb = kernel(nb);
-  ka.ends_.emplace(e1, Kernel::EndState{e1, link, e2, a, nb, na, false,
-                                        false, std::nullopt, std::nullopt,
-                                        {}, 0, {}});
-  kb.ends_.emplace(e2, Kernel::EndState{e2, link, e1, b, na, na, false,
-                                        false, std::nullopt, std::nullopt,
-                                        {}, 0, {}});
+  Kernel::EndState s1;
+  s1.id = e1;
+  s1.link = link;
+  s1.peer = e2;
+  s1.owner = a;
+  s1.peer_node = nb;
+  s1.home = na;
+  ka.ends_.emplace(e1, std::move(s1));
+  Kernel::EndState s2;
+  s2.id = e2;
+  s2.link = link;
+  s2.peer = e1;
+  s2.owner = b;
+  s2.peer_node = na;
+  s2.home = na;
+  kb.ends_.emplace(e2, std::move(s2));
   ka.homes_.emplace(link,
                     Kernel::HomeRecord{link, Kernel::HomeEndInfo{e1, na, a},
                                        Kernel::HomeEndInfo{e2, nb, b}, false});
@@ -186,10 +196,20 @@ sim::Task<common::Result<LinkPair, Status>> Kernel::make_link(Pid caller) {
   const LinkId link = cluster_->new_link_id();
   const EndId e1 = cluster_->new_end();
   const EndId e2 = cluster_->new_end();
-  EndState s1{e1, link, e2, caller, node_, node_, false, false,
-              std::nullopt, std::nullopt, {}, 0, {}};
-  EndState s2{e2, link, e1, caller, node_, node_, false, false,
-              std::nullopt, std::nullopt, {}, 0, {}};
+  EndState s1;
+  s1.id = e1;
+  s1.link = link;
+  s1.peer = e2;
+  s1.owner = caller;
+  s1.peer_node = node_;
+  s1.home = node_;
+  EndState s2;
+  s2.id = e2;
+  s2.link = link;
+  s2.peer = e1;
+  s2.owner = caller;
+  s2.peer_node = node_;
+  s2.home = node_;
   ends_.emplace(e1, std::move(s1));
   ends_.emplace(e2, std::move(s2));
   homes_.emplace(link, HomeRecord{link,
@@ -230,17 +250,21 @@ sim::Task<Status> Kernel::send(Pid caller, EndId end_id, Payload data,
       co_return Status::kBadEnclosure;
     }
     has_enclosure = true;
-    desc = wire::EnclosureDesc{enc->id, enc->link, enc->peer, enc->peer_node,
-                               enc->home};
+    // The end's ack-protocol counters move with it (wire.hpp): the
+    // receiving kernel resumes both streams where this kernel stopped.
+    desc = wire::EnclosureDesc{enc->id,           enc->link,
+                               enc->peer,         enc->peer_node,
+                               enc->home,         enc->next_send_seq,
+                               enc->recv_watermark, enc->last_delivered_len};
     enc->in_transit = true;
   }
 
-  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t seq = end->next_send_seq++;
   wire::Msg msg{seq,  end_id, end->peer, std::move(data),
                 has_enclosure, desc,   trace};
   const std::size_t len = msg.data.size();
   end->send = SendActivity{msg, has_enclosure ? desc.end : EndId::invalid(),
-                           false, 1, {}};
+                           false, 1, {}, 0, 0};
   const net::NodeId dst = end->peer_node;
 
   const Costs& costs = cluster_->costs();
@@ -248,18 +272,64 @@ sim::Task<Status> Kernel::send(Pid caller, EndId end_id, Payload data,
                        costs.per_byte_copy * static_cast<sim::Duration>(len);
   if (has_enclosure) cost += costs.enclosure_processing;
   co_await cluster_->engine().sleep(cost);
-  transmit(dst, std::move(msg), trace);
   // Re-find the end: the sleep may have raced a destroy or a move.
   if (EndState* e = find_end(end_id);
       e != nullptr && e->send.has_value() && e->send->msg.seq == seq) {
+    attach_piggyback(*e, e->send->msg, dst);
+    e->send->first_sent_at = cluster_->engine().now();
+    e->send->cur_rto = initial_rto(*e);
+    transmit(dst, e->send->msg, trace);
     arm_send_timer(*e);
+  } else {
+    // Destroyed or failed mid-call; transmit anyway (the peer NACKs) so
+    // the wire traffic is identical to the pre-race interleaving.
+    transmit(dst, std::move(msg), trace);
   }
   co_return Status::kOk;
 }
 
+void Kernel::attach_piggyback(EndState& end, wire::Msg& m, net::NodeId dst) {
+  if (!end.owed_ack.has_value() || end.owed_ack->to != dst) return;
+  m.has_ack = true;
+  m.ack_seq = end.owed_ack->seq;
+  m.ack_len = end.owed_ack->len;
+  if (auto* rec = trace::get(cluster_->engine())) {
+    rec->instant(node_.value(), "kernel", "ack.piggyback", end.owed_ack->trace,
+                 end.owed_ack->seq, end.owed_ack->len);
+  }
+  end.ack_timer.cancel();
+  end.owed_ack.reset();
+}
+
+sim::Duration Kernel::initial_rto(const EndState& end) const {
+  const Costs& costs = cluster_->costs();
+  if (!costs.adaptive_rto || !end.have_rtt) {
+    return costs.send_retransmit_timeout;
+  }
+  const sim::Duration rto = end.srtt + 4 * end.rttvar;
+  return std::clamp(rto, costs.rto_min, costs.rto_max);
+}
+
+void Kernel::observe_rtt(EndState& end, sim::Duration sample) {
+  if (!end.have_rtt) {
+    end.srtt = sample;
+    end.rttvar = sample / 2;
+    end.have_rtt = true;
+    return;
+  }
+  const sim::Duration err = sample - end.srtt;
+  end.rttvar += ((err < 0 ? -err : err) - end.rttvar) / 4;
+  end.srtt += err / 8;
+}
+
 void Kernel::arm_send_timer(EndState& end) {
-  const sim::Duration timeout = cluster_->costs().send_retransmit_timeout;
-  if (timeout <= 0 || !end.send.has_value()) return;
+  if (cluster_->costs().send_retransmit_timeout <= 0 ||
+      !end.send.has_value()) {
+    return;
+  }
+  const sim::Duration timeout = end.send->cur_rto > 0
+                                    ? end.send->cur_rto
+                                    : cluster_->costs().send_retransmit_timeout;
   end.send->retry.cancel();
   end.send->retry = cluster_->engine().schedule_cancellable(
       timeout, [this, id = end.id, seq = end.send->msg.seq] {
@@ -288,6 +358,12 @@ void Kernel::on_send_timeout(EndId end_id, std::uint64_t seq) {
                  static_cast<std::uint64_t>(end->send->attempts));
   }
   transmit(end->peer_node, end->send->msg, end->send->msg.trace);
+  if (cluster_->costs().adaptive_rto && end->send->cur_rto > 0) {
+    // Exponential backoff: a timeout is evidence the estimate was low
+    // (or the path is impaired); don't hammer a congested ring.
+    end->send->cur_rto =
+        std::min(end->send->cur_rto * 2, cluster_->costs().rto_max);
+  }
   arm_send_timer(*end);
 }
 
@@ -426,10 +502,18 @@ void Kernel::deliver_pending(EndState& end) {
                        static_cast<sim::Duration>(len);
   if (pm.msg.has_enclosure) {
     const wire::EnclosureDesc& desc = pm.msg.enclosure;
-    // Install the moved end locally and tell the home.
-    EndState moved{desc.end, desc.link, desc.peer, end.owner, desc.peer_node,
-                   desc.home, false, false, std::nullopt, std::nullopt,
-                   {}, 0, {}};
+    // Install the moved end locally — resuming its ack-protocol
+    // counters where the previous kernel stopped — and tell the home.
+    EndState moved;
+    moved.id = desc.end;
+    moved.link = desc.link;
+    moved.peer = desc.peer;
+    moved.owner = end.owner;
+    moved.peer_node = desc.peer_node;
+    moved.home = desc.home;
+    moved.next_send_seq = desc.next_send_seq;
+    moved.recv_watermark = desc.recv_watermark;
+    moved.last_delivered_len = desc.last_delivered_len;
     ends_.emplace(desc.end, std::move(moved));
     transmit(desc.home, wire::MoveUpdate{next_move_seq_++, desc.link,
                                          desc.end, node_, end.owner});
@@ -437,20 +521,61 @@ void Kernel::deliver_pending(EndState& end) {
     cost += cluster_->costs().enclosure_processing;
   }
   ++end.unwaited_recv_completions;
-  end.acked.emplace_back(pm.msg.seq, len);
-  if (end.acked.size() > 16) end.acked.pop_front();
+  end.recv_watermark = pm.msg.seq;
+  end.last_delivered_len = len;
 
   const Pid owner = end.owner;
-  const net::NodeId ack_to = pm.from_node;
-  const wire::MsgAck ack{pm.msg.seq, pm.msg.from_end, len, pm.msg.trace};
-  cluster_->engine().schedule(cost, [this, owner, c = std::move(c), ack,
-                                     ack_to] {
+  const EndId end_id = end.id;
+  OwedAck owed{pm.msg.seq, len, pm.msg.from_end, pm.from_node, pm.msg.trace};
+  cluster_->engine().schedule(cost, [this, owner, c = std::move(c), end_id,
+                                     owed] {
     complete(owner, c);
-    transmit(ack_to, ack, ack.trace);
+    owe_ack(end_id, owed);
   });
 }
 
+void Kernel::owe_ack(EndId end_id, OwedAck owed) {
+  EndState* end = find_end(end_id);
+  if (end == nullptr) {
+    // The end vanished (moved away or destroyed) between delivery and
+    // this point: fall back to an immediate standalone ack, exactly the
+    // v1 wire behaviour.
+    transmit(owed.to, wire::MsgAck{owed.seq, owed.peer, owed.len, owed.trace},
+             owed.trace);
+    return;
+  }
+  flush_owed_ack(*end);  // stop-and-wait should make this a no-op
+  end->owed_ack = owed;
+  const sim::Duration delay = cluster_->costs().ack_coalesce_delay;
+  if (delay <= 0) {
+    flush_owed_ack(*end);
+    return;
+  }
+  end->ack_timer.cancel();
+  end->ack_timer = cluster_->engine().schedule_cancellable(
+      delay, [this, end_id, seq = owed.seq] {
+        EndState* e = find_end(end_id);
+        if (e == nullptr || !e->owed_ack.has_value() ||
+            e->owed_ack->seq != seq) {
+          return;
+        }
+        flush_owed_ack(*e);
+      });
+}
+
+void Kernel::flush_owed_ack(EndState& end) {
+  if (!end.owed_ack.has_value()) return;
+  const OwedAck owed = *end.owed_ack;
+  end.ack_timer.cancel();
+  end.owed_ack.reset();
+  transmit(owed.to, wire::MsgAck{owed.seq, owed.peer, owed.len, owed.trace},
+           owed.trace);
+}
+
 void Kernel::fail_end_activities(EndState& end, Status status) {
+  // An ack still coalescing must not die with the end: the peer's send
+  // did complete, and it must hear so before it hears the link is gone.
+  flush_owed_ack(end);
   if (end.send.has_value()) {
     Completion c;
     c.end = end.id;
@@ -486,6 +611,9 @@ void Kernel::fail_end_activities(EndState& end, Status status) {
 // ===================== frame handlers =====================
 
 void Kernel::handle(const wire::Msg& m, net::NodeId from) {
+  // A piggybacked ack settles the reverse direction first — it may well
+  // be what this very frame's recipient is blocked on.
+  if (m.has_ack) apply_ack(m.to_end, m.ack_seq, m.ack_len, from);
   EndState* end = find_end(m.to_end);
   if (end == nullptr) {
     if (auto it = forwarded_.find(m.to_end); it != forwarded_.end()) {
@@ -506,16 +634,27 @@ void Kernel::handle(const wire::Msg& m, net::NodeId from) {
 }
 
 bool Kernel::deduplicate(EndState& end, const wire::Msg& m, net::NodeId from) {
-  for (const auto& [seq, len] : end.acked) {
-    if (seq == m.seq) {
-      // Already delivered; the original ack (or this replacement) was
-      // lost in flight.  Re-ack so the sender's timer stands down.
+  // Cumulative-ack watermark: per-end seqs are strictly increasing and
+  // the sender is stop-and-wait, so anything at or below the watermark
+  // is a duplicate — no matter how long the medium delayed it.  (The
+  // old 16-entry `acked` deque forgot deliveries and let a duplicate
+  // delayed past 16 later ones through; see
+  // CharlotteAckProtocol.DelayedDuplicateBeyondOldWindowIsScreened.)
+  if (m.seq <= end.recv_watermark) {
+    if (m.seq == end.recv_watermark) {
+      // The sender may still be retransmitting this one: its ack (or a
+      // predecessor) was lost.  Re-ack immediately — never coalesced —
+      // so its timer stands down.
       if (!cluster_->costs().debug_drop_reacks) {
-        transmit(from, wire::MsgAck{m.seq, m.from_end, len, m.trace},
+        transmit(from,
+                 wire::MsgAck{m.seq, m.from_end, end.last_delivered_len,
+                              m.trace},
                  m.trace);
       }
-      return true;
     }
+    // Below the watermark the sender has long since moved on (it could
+    // only start seq n+1 after settling seq n); nobody needs an ack.
+    return true;
   }
   for (const PendingMsg& pm : end.pending) {
     if (pm.msg.seq == m.seq) return true;  // queued; delivery will ack
@@ -523,11 +662,18 @@ bool Kernel::deduplicate(EndState& end, const wire::Msg& m, net::NodeId from) {
   return false;
 }
 
-void Kernel::handle(const wire::MsgAck& m, net::NodeId from) {
-  EndState* end = find_end(m.to_end);
+void Kernel::apply_ack(EndId to_end, std::uint64_t seq, std::size_t len,
+                       net::NodeId from) {
+  EndState* end = find_end(to_end);
   if (end == nullptr || !end->send.has_value() ||
-      end->send->msg.seq != m.seq) {
+      end->send->msg.seq != seq) {
     return;  // stale ack (e.g. the send was failed by a LinkDown race)
+  }
+  if (cluster_->costs().adaptive_rto && end->send->attempts == 1 &&
+      end->send->first_sent_at > 0) {
+    // Karn's rule: only unretransmitted exchanges produce samples (a
+    // retransmitted one can't tell which copy this ack answers).
+    observe_rtt(*end, cluster_->engine().now() - end->send->first_sent_at);
   }
   const EndId enclosure = end->send->enclosure;
   clear_send(*end);
@@ -535,13 +681,14 @@ void Kernel::handle(const wire::MsgAck& m, net::NodeId from) {
   c.end = end->id;
   c.direction = Direction::kSend;
   c.status = Status::kOk;
-  c.length = m.delivered_len;
+  c.length = len;
   complete(end->owner, c);
 
   if (enclosure.valid()) {
     // The enclosure now lives at the receiver: retire the local record,
     // leave a tombstone, bounce anything that was parked on it.
     if (EndState* enc = find_end(enclosure)) {
+      flush_owed_ack(*enc);  // an ack it still owed leaves from here
       while (!enc->pending.empty()) {
         PendingMsg pm = std::move(enc->pending.front());
         enc->pending.pop_front();
@@ -554,6 +701,10 @@ void Kernel::handle(const wire::MsgAck& m, net::NodeId from) {
   }
 }
 
+void Kernel::handle(const wire::MsgAck& m, net::NodeId from) {
+  apply_ack(m.to_end, m.seq, m.delivered_len, from);
+}
+
 void Kernel::handle(const wire::MsgNackMoved& m, net::NodeId /*from*/) {
   EndState* end = find_end(m.to_end);
   if (end == nullptr || !end->send.has_value() ||
@@ -561,21 +712,32 @@ void Kernel::handle(const wire::MsgNackMoved& m, net::NodeId /*from*/) {
     return;
   }
   end->peer_node = m.new_node;
-  ++retransmits_;
-  if (auto* rec = trace::get(cluster_->engine())) {
-    rec->instant(node_.value(), "kernel", "msg.retransmit.moved",
-                 end->send->msg.trace, m.seq, m.new_node.value());
-  }
   const Costs& costs = cluster_->costs();
   const sim::Duration cost =
       costs.frame_processing +
       costs.per_byte_copy *
           static_cast<sim::Duration>(end->send->msg.data.size());
-  cluster_->engine().schedule(
-      cost, [this, msg = end->send->msg, dst = m.new_node] {
-        transmit(dst, msg, msg.trace);
-      });
-  arm_send_timer(*end);
+  // Count the retransmit, stamp its trace record, and re-arm the timer
+  // only when the deferred frame actually leaves.  Doing any of it here
+  // — while the repackaging cost is still being paid — double-counts
+  // whenever an ack (a racing re-ack, or a CancelReply) lands inside
+  // the cost window: the send would already be settled, yet
+  // `retransmits_` claimed a retransmission and the freshly-armed timer
+  // could fire a spurious copy measured from the wrong origin.
+  cluster_->engine().schedule(cost, [this, id = m.to_end, seq = m.seq] {
+    EndState* e = find_end(id);
+    if (e == nullptr || e->destroyed || !e->send.has_value() ||
+        e->send->msg.seq != seq) {
+      return;  // settled while the kernel was repackaging; nothing to resend
+    }
+    ++retransmits_;
+    if (auto* rec = trace::get(cluster_->engine())) {
+      rec->instant(node_.value(), "kernel", "msg.retransmit.moved",
+                   e->send->msg.trace, seq, e->peer_node.value());
+    }
+    transmit(e->peer_node, e->send->msg, e->send->msg.trace);
+    arm_send_timer(*e);
+  });
 }
 
 void Kernel::handle(const wire::MsgNackDestroyed& m, net::NodeId /*from*/) {

@@ -106,6 +106,10 @@ class Kernel {
     bool cancel_requested = false;
     int attempts = 1;
     sim::TimerHandle retry;  // armed only when send_retransmit_timeout > 0
+    sim::Time first_sent_at = 0;  // first transmission (Karn: RTT samples
+                                  // are taken only from unretransmitted
+                                  // exchanges)
+    sim::Duration cur_rto = 0;    // current timeout; doubles per attempt
   };
   struct RecvActivity {
     std::size_t max_len = 0;
@@ -113,6 +117,15 @@ class Kernel {
   struct PendingMsg {
     wire::Msg msg;
     net::NodeId from_node;
+  };
+  // An acknowledgement owed for a completed delivery, withheld for
+  // ack_coalesce_delay in the hope of piggybacking on reverse traffic.
+  struct OwedAck {
+    std::uint64_t seq = 0;
+    std::size_t len = 0;
+    EndId peer;        // the sending end (MsgAck.to_end)
+    net::NodeId to;    // the kernel that sent the Msg
+    std::uint64_t trace = 0;
   };
   struct EndState {
     EndId id;
@@ -127,10 +140,26 @@ class Kernel {
     std::optional<RecvActivity> recv;
     std::deque<PendingMsg> pending;
     int unwaited_recv_completions = 0;
-    // Recently delivered (seq, length) pairs, so a duplicated Msg — a
-    // retransmission whose original did arrive, or a fault-injected
-    // copy — is re-acked instead of delivered twice.
-    std::deque<std::pair<std::uint64_t, std::size_t>> acked;
+    // ---- ack protocol v2 (see DESIGN.md) ----
+    // Send sequence numbers are allocated per END (not per kernel) and
+    // travel with the end when it moves, so the stream of seqs arriving
+    // at the peer is strictly increasing for the lifetime of the link.
+    std::uint64_t next_send_seq = 1;
+    // Cumulative-ack watermark: the highest seq delivered on this end,
+    // and the length accepted for it.  Dedup is a single compare — any
+    // windowed structure (the old 16-entry deque) can be evaded by a
+    // sufficiently delayed duplicate; the watermark cannot.  Stop-and-
+    // wait per direction means no out-of-order gap can exist, so the
+    // out-of-order bitmap that would normally ride alongside the
+    // watermark degenerates to "always empty" and is not stored.
+    std::uint64_t recv_watermark = 0;
+    std::size_t last_delivered_len = 0;
+    std::optional<OwedAck> owed_ack;
+    sim::TimerHandle ack_timer;  // standalone-ack fallback (coalescing)
+    // Jacobson/Karels RTT estimate for the path to peer_node.
+    bool have_rtt = false;
+    sim::Duration srtt = 0;
+    sim::Duration rttvar = 0;
   };
   struct HomeEndInfo {
     EndId end;
@@ -171,6 +200,22 @@ class Kernel {
   void clear_send(EndState& end);  // cancels the retry timer too
   // True if `seq` was already delivered on `end` (re-acks if so).
   bool deduplicate(EndState& end, const wire::Msg& m, net::NodeId from);
+  // ---- ack protocol v2 helpers ----
+  // Settle `end`'s outstanding send if it matches `seq` (shared by
+  // standalone MsgAck frames and piggybacked acks on data frames).
+  void apply_ack(EndId to_end, std::uint64_t seq, std::size_t len,
+                 net::NodeId from);
+  // Record an owed ack and start (or restart) the coalescing timer.
+  void owe_ack(EndId end_id, OwedAck owed);
+  // Transmit the owed standalone MsgAck now, if one is pending.
+  void flush_owed_ack(EndState& end);
+  // Attach the owed ack to an outgoing Msg bound for `dst`, if it is
+  // owed to that kernel.
+  void attach_piggyback(EndState& end, wire::Msg& m, net::NodeId dst);
+  // Initial retransmission timeout for a fresh send on `end`.
+  [[nodiscard]] sim::Duration initial_rto(const EndState& end) const;
+  // Feed a clean (unretransmitted) ack round trip into the estimator.
+  void observe_rtt(EndState& end, sim::Duration sample);
   [[nodiscard]] EndState* find_end(EndId id);
   [[nodiscard]] Status validate_owned(Pid caller, EndId id, EndState** out);
 
@@ -182,7 +227,6 @@ class Kernel {
   std::unordered_set<Pid> processes_;
   std::unordered_map<Pid, std::unique_ptr<sim::Mailbox<Completion>>>
       completions_;
-  std::uint64_t next_seq_ = 1;
   std::uint64_t next_move_seq_ = 1;
   std::uint64_t frames_out_ = 0;
   std::uint64_t move_frames_ = 0;

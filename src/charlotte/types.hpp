@@ -104,14 +104,29 @@ struct Costs {
   // extra kernel work when a frame carries an enclosure (move protocol
   // bookkeeping on each involved kernel)
   sim::Duration enclosure_processing = sim::msec(2);
+  // Ack coalescing (ack protocol v2): after a delivery the owed ack is
+  // withheld for this long, hoping to piggyback on a data frame headed
+  // the other way on the same link; if none leaves in time a standalone
+  // MsgAck goes out so idle links still ack promptly.  0 = ack
+  // immediately with a standalone frame (the v1 wire behaviour).
+  sim::Duration ack_coalesce_delay = sim::msec(3);
   // Transport-level send retransmission, for running over an impaired
   // medium.  0 disables the timer entirely (the seed behaviour: the
   // ring never loses frames, so Charlotte never needed one).  When
-  // enabled, an unacked Msg is retransmitted every timeout until
-  // max_send_attempts, then the kernel declares the link failed —
-  // Charlotte's absolute failure notice.
+  // enabled, an unacked Msg is retransmitted until max_send_attempts,
+  // then the kernel declares the link failed — Charlotte's absolute
+  // failure notice.
   sim::Duration send_retransmit_timeout = sim::Duration(0);
   int max_send_attempts = 5;
+  // Retransmission pacing.  With adaptive_rto the kernel keeps a
+  // Jacobson/Karels estimator per link end (srtt + 4*rttvar, Karn's
+  // rule for samples) and doubles the timeout on every retransmission;
+  // send_retransmit_timeout is then only the initial RTO before the
+  // first sample.  false = the v1 behaviour: a fixed timeout re-armed
+  // verbatim after every attempt.
+  bool adaptive_rto = true;
+  sim::Duration rto_min = sim::msec(10);
+  sim::Duration rto_max = sim::msec(2000);
   // TESTING ONLY — a deliberately injected semantic bug used by the
   // schedule-exploration checker (src/check/) to prove it can catch and
   // shrink real divergences.  When true, an already-delivered Msg whose

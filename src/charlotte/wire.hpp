@@ -21,18 +21,26 @@
 
 namespace charlotte::wire {
 
-// Describes an enclosure riding in a data frame.
+// Describes an enclosure riding in a data frame.  Besides routing
+// state, it carries the moving end's ack-protocol counters (see
+// DESIGN.md "Charlotte ack protocol v2"): sequence numbers are per-end,
+// so the receiving kernel must resume the end's send counter and its
+// receive watermark exactly where the old kernel left them — otherwise
+// a retransmit chasing the moved end could be delivered a second time.
 struct EnclosureDesc {
   EndId end;                 // the moving end
   LinkId link;               // its link
   EndId peer;                // the stationary end
   net::NodeId peer_node;     // mover's belief of the peer's location
   net::NodeId home;          // the link's registrar node
+  std::uint64_t next_send_seq = 1;     // end's send-sequence counter
+  std::uint64_t recv_watermark = 0;    // highest seq delivered to it
+  std::size_t last_delivered_len = 0;  // its accepted length (for re-acks)
 };
 
 // Data message (the only frame a user payload rides in).
 struct Msg {
-  std::uint64_t seq;         // sender-kernel-unique, for acks/cancels
+  std::uint64_t seq;         // sending-END-unique, for acks/cancels
   EndId from_end;
   EndId to_end;
   Payload data;
@@ -43,6 +51,14 @@ struct Msg {
   // attributable to the originating RPC.  Simulation metadata: not
   // counted in frame_bytes.
   std::uint64_t trace = 0;
+  // Piggybacked acknowledgement (ack protocol v2): an ack the sending
+  // end owed for a delivery in the opposite direction rides along
+  // instead of costing a standalone MsgAck frame.  It acknowledges
+  // `ack_seq` on `to_end`'s outstanding send (the reverse direction of
+  // this very link).
+  bool has_ack = false;
+  std::uint64_t ack_seq = 0;
+  std::size_t ack_len = 0;
 };
 
 // Delivery acknowledged; sender's Wait may complete.
@@ -126,7 +142,10 @@ using KernelFrame =
 // Frame sizes on the wire (headers; Msg adds its payload bytes).
 [[nodiscard]] inline std::size_t frame_bytes(const KernelFrame& f) {
   struct Sizer {
-    std::size_t operator()(const Msg& m) const { return 24 + m.data.size() + (m.has_enclosure ? 32 : 0); }
+    std::size_t operator()(const Msg& m) const {
+      return 24 + m.data.size() + (m.has_enclosure ? 48 : 0) +
+             (m.has_ack ? 12 : 0);
+    }
     std::size_t operator()(const MsgAck&) const { return 16; }
     std::size_t operator()(const MsgNackMoved&) const { return 24; }
     std::size_t operator()(const MsgNackDestroyed&) const { return 16; }

@@ -71,7 +71,8 @@ CharlotteBackend::CharlotteBackend(charlotte::Cluster& cluster,
                                    net::NodeId node)
     : cluster_(&cluster),
       node_(node),
-      pid_(cluster.create_process(node)) {}
+      pid_(cluster.create_process(node)),
+      drained_(cluster.engine()) {}
 
 CharlotteBackend::~CharlotteBackend() = default;
 
@@ -211,11 +212,36 @@ sim::Task<> CharlotteBackend::run_ksend(BLink token) {
   }
   link->kernel_send_busy = true;
   const KSend& ks = link->ksend_queue.front();
+  const std::uint64_t sent_out_id = ks.out_id;
+  const PType sent_ptype = ks.ptype;
   ++packets_sent_;
   ++stats_.packets_sent;
   charlotte::Status st = co_await cluster_->kernel(node_).send(
       pid_, link->end, ks.payload, ks.enclosure, ks.trace);
-  if (st == charlotte::Status::kOk) co_return;  // completion via Wait
+  if (st == charlotte::Status::kOk) {
+    // Fast path (ack protocol v2): a single-packet reply is "delivered"
+    // from LYNX's point of view the moment the kernel accepts it.  The
+    // paper already rules out telling a server about its reply's fate —
+    // a caller that aborted is never reported (§3.2, deviation two), and
+    // a top-level ack for replies would cost +50% traffic — so waiting
+    // for the kernel-level MsgAck bought no semantics; it only kept the
+    // server thread blocked for the ack round trip.  Requests (their
+    // RETRY/FORBID screening needs the ack to sequence last_request) and
+    // enclosure-bearing packets (the handoff must commit) still wait.
+    if (sent_ptype == PType::kReply && sent_out_id != 0) {
+      link = find(token);
+      if (link != nullptr && !link->destroyed && link->kernel_send_busy &&
+          !link->ksend_queue.empty() &&
+          link->ksend_queue.front().out_id == sent_out_id) {
+        auto it = out_msgs_.find(sent_out_id);
+        if (it != out_msgs_.end() && it->second.kind == MsgKind::kReply &&
+            it->second.enclosure_ends.empty()) {
+          resolve(it->second, SendOutcome{SendResult::kDelivered, {}});
+        }
+      }
+    }
+    co_return;  // kernel completion (and bookkeeping) still via Wait
+  }
   // Immediate rejection.
   link = find(token);
   if (link == nullptr) co_return;
@@ -226,21 +252,23 @@ sim::Task<> CharlotteBackend::run_ksend(BLink token) {
   } else if (!link->ksend_queue.empty()) {
     cluster_->engine().spawn("charlotte-ksend", run_ksend(token));
   }
+  note_drain_progress();
 }
 
 // ===================== pump & dispatch =====================
 
 sim::Task<> CharlotteBackend::pump() {
   for (;;) {
-    if (!running_) break;
+    if (!running_ && !draining_) break;
     charlotte::Completion c = co_await cluster_->kernel(node_).wait(pid_);
-    if (!running_) break;
+    if (!running_ && !draining_) break;
     if (!c.end.valid()) break;  // shutdown poison
     if (c.direction == charlotte::Direction::kSend) {
       dispatch_send_done(c);
     } else {
       dispatch_receive(c);
     }
+    note_drain_progress();
   }
 }
 
@@ -698,10 +726,34 @@ sim::Task<void> CharlotteBackend::destroy(BLink token) {
 void CharlotteBackend::shutdown() {
   if (!running_) return;
   running_ = false;
+  draining_ = true;
   cluster_->engine().spawn("charlotte-shutdown", perform_shutdown());
 }
 
+bool CharlotteBackend::has_unsettled_ksends() const {
+  for (const auto& [token, link] : links_) {
+    if (link.destroyed) continue;
+    if (link.kernel_send_busy || !link.ksend_queue.empty()) return true;
+  }
+  return false;
+}
+
+void CharlotteBackend::note_drain_progress() {
+  if (draining_ && !has_unsettled_ksends()) drained_.wake_all();
+}
+
 sim::Task<> CharlotteBackend::perform_shutdown() {
+  // "Before terminating, each process destroys all of its links" (§2.1)
+  // — but destruction must not outrun delivery.  With the v2 reply fast
+  // path a server thread can exit while its final reply is still in a
+  // kernel send (possibly mid-retransmission under loss); yanking the
+  // links down at that instant would race the delivery the caller is
+  // blocked on.  Drain accepted kernel sends first; the pump keeps
+  // dispatching completions while draining_ is set.  If a send can
+  // never settle (lossy medium, retransmission disabled) this parks
+  // forever — exactly as the v1 thread blocked in reply() did.
+  while (has_unsettled_ksends()) co_await drained_.wait();
+  draining_ = false;
   // Process termination destroys all links (the kernel guarantees this
   // for real termination; we do it explicitly, then poison the pump).
   cluster_->terminate(pid_);

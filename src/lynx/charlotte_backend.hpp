@@ -189,12 +189,20 @@ class CharlotteBackend final : public Backend {
   [[nodiscard]] CLink* find_by_end(charlotte::EndId end);
   [[nodiscard]] BLink adopt_end(charlotte::EndId end);
   [[nodiscard]] sim::Task<> perform_shutdown();
+  // True while some kernel send is accepted-but-unsettled (or queued)
+  // on a live link; shutdown drains these before destroying links.
+  [[nodiscard]] bool has_unsettled_ksends() const;
+  void note_drain_progress();
 
   charlotte::Cluster* cluster_;
   net::NodeId node_;
   charlotte::Pid pid_;
   Sink sink_;
   bool running_ = false;
+  // Shutdown has been requested but kernel sends are still settling;
+  // the pump keeps dispatching completions until the drain finishes.
+  bool draining_ = false;
+  sim::WaitList drained_;
 
   std::unordered_map<BLink, CLink> links_;
   std::unordered_map<charlotte::EndId, BLink> by_end_;

@@ -12,10 +12,12 @@
 #include <vector>
 
 #include "../support/co_check.hpp"
+#include "charlotte/kernel.hpp"
 #include "fault/faulty_medium.hpp"
 #include "fault/invariant_checker.hpp"
 #include "load/load.hpp"
 #include "net/csma_bus.hpp"
+#include "net/token_ring.hpp"
 #include "sim/engine.hpp"
 #include "soda/kernel.hpp"
 #include "trace/trace.hpp"
@@ -27,6 +29,10 @@ using net::NodeId;
 
 soda::Payload so_bytes(std::string s) {
   return soda::Payload(s.begin(), s.end());
+}
+
+charlotte::Payload ch_bytes(std::string s) {
+  return charlotte::Payload(s.begin(), s.end());
 }
 
 sim::Task<> so_server(soda::Network* nw, soda::Pid me, soda::Name* out,
@@ -100,6 +106,64 @@ RunResult run_universe(std::uint64_t seed,
   return {rec.digest(), fm.fault_digest(), rec.total_emitted()};
 }
 
+// A Charlotte universe under loss and duplication, exercising the v2
+// ack machinery end to end: retransmit timers (adaptive RTO + backoff),
+// watermark dedup of duplicated frames, and — when `coalesce` is on —
+// owed-ack timers and piggybacked acks.  The coalescing timer is a new
+// event source, so determinism is pinned with piggybacking both ON
+// (default delay) and OFF (0 = the v1 wire: immediate standalone acks).
+RunResult run_charlotte_universe(std::uint64_t seed, bool coalesce) {
+  sim::Engine e;
+  trace::Recorder rec(e);
+  net::TokenRing ring(e);
+  FaultyMedium fm(e, ring, seed,
+                  Plan{}.background({.drop_prob = 0.1,
+                                     .duplicate_prob = 0.1,
+                                     .max_jitter = sim::usec(300)}));
+  InvariantChecker check(fm);
+  charlotte::Costs costs;
+  costs.send_retransmit_timeout = sim::msec(40);
+  costs.max_send_attempts = 10;
+  costs.ack_coalesce_delay = coalesce ? sim::msec(3) : sim::Duration(0);
+  charlotte::Cluster cluster(e, 2, fm, costs);
+
+  charlotte::Pid pa = cluster.create_process(NodeId(0));
+  charlotte::Pid pb = cluster.create_process(NodeId(1));
+  charlotte::LinkPair link = cluster.bootstrap_link(pa, pb);
+
+  auto ping = [](charlotte::Cluster* cl, charlotte::Pid me,
+                 charlotte::EndId end, std::uint64_t trace) -> sim::Task<> {
+    charlotte::Kernel& k = cl->kernel_of(me);
+    for (int i = 0; i < 3; ++i) {
+      CO_CHECK_EQ(co_await k.send(me, end, ch_bytes("p"),
+                                  charlotte::EndId::invalid(), trace),
+                  charlotte::Status::kOk);
+      CO_CHECK_EQ((co_await k.wait(me)).status, charlotte::Status::kOk);
+      CO_CHECK_EQ(co_await k.receive(me, end, 64), charlotte::Status::kOk);
+      CO_CHECK_EQ((co_await k.wait(me)).status, charlotte::Status::kOk);
+    }
+  };
+  auto pong = [](charlotte::Cluster* cl, charlotte::Pid me,
+                 charlotte::EndId end) -> sim::Task<> {
+    charlotte::Kernel& k = cl->kernel_of(me);
+    for (int i = 0; i < 3; ++i) {
+      CO_CHECK_EQ(co_await k.receive(me, end, 64), charlotte::Status::kOk);
+      CO_CHECK_EQ((co_await k.wait(me)).status, charlotte::Status::kOk);
+      CO_CHECK_EQ(co_await k.send(me, end, ch_bytes("q")),
+                  charlotte::Status::kOk);
+      CO_CHECK_EQ((co_await k.wait(me)).status, charlotte::Status::kOk);
+    }
+  };
+  e.spawn("ping", ping(&cluster, pa, link.end1, rec.new_trace()));
+  e.spawn("pong", pong(&cluster, pb, link.end2));
+  e.run();
+
+  EXPECT_TRUE(check.ok()) << "seed " << seed << ": "
+                          << check.violations().front();
+  EXPECT_TRUE(e.process_failures().empty()) << "seed " << seed;
+  return {rec.digest(), fm.fault_digest(), rec.total_emitted()};
+}
+
 // A loaded universe: an open-loop Poisson scenario on the SODA backend
 // with a Recorder watching the whole multi-client run.  Traced load is
 // the regime where nondeterminism would hide (hundreds of interleaved
@@ -128,6 +192,7 @@ TEST(TraceDeterminism, SweepSeedsReproduceDigests) {
   // must not collapse onto one stream.
   std::set<std::uint64_t> distinct;
   std::set<std::uint64_t> distinct_load;
+  std::set<std::uint64_t> distinct_charlotte;
   for (std::uint64_t seed = 1; seed <= 100; ++seed) {
     const RunResult a = run_universe(seed);
     const RunResult b = run_universe(seed);
@@ -148,6 +213,24 @@ TEST(TraceDeterminism, SweepSeedsReproduceDigests) {
     ASSERT_EQ(pa.fault_digest, pb.fault_digest) << "perm seed " << seed;
     ASSERT_EQ(pa.emitted, pb.emitted) << "perm seed " << seed;
 
+    // The Charlotte lossy universe, piggybacking ON and OFF: the owed-ack
+    // coalescing timer and the adaptive retransmit machinery must not
+    // introduce schedule-dependent state.
+    const RunResult ca = run_charlotte_universe(seed, /*coalesce=*/true);
+    const RunResult cb = run_charlotte_universe(seed, /*coalesce=*/true);
+    ASSERT_EQ(ca.trace_digest, cb.trace_digest) << "charlotte seed " << seed;
+    ASSERT_EQ(ca.fault_digest, cb.fault_digest) << "charlotte seed " << seed;
+    ASSERT_EQ(ca.emitted, cb.emitted) << "charlotte seed " << seed;
+    ASSERT_GT(ca.emitted, 0u) << "charlotte seed " << seed;
+    distinct_charlotte.insert(ca.trace_digest);
+    const RunResult cv1a = run_charlotte_universe(seed, /*coalesce=*/false);
+    const RunResult cv1b = run_charlotte_universe(seed, /*coalesce=*/false);
+    ASSERT_EQ(cv1a.trace_digest, cv1b.trace_digest)
+        << "charlotte v1-wire seed " << seed;
+    ASSERT_EQ(cv1a.fault_digest, cv1b.fault_digest)
+        << "charlotte v1-wire seed " << seed;
+    ASSERT_EQ(cv1a.emitted, cv1b.emitted) << "charlotte v1-wire seed " << seed;
+
     const RunResult la = run_load_universe(seed);
     const RunResult lb = run_load_universe(seed);
     ASSERT_EQ(la.trace_digest, lb.trace_digest) << "load seed " << seed;
@@ -159,6 +242,8 @@ TEST(TraceDeterminism, SweepSeedsReproduceDigests) {
   EXPECT_GT(distinct.size(), 90u);
   // Load arrivals are Poisson-per-seed: streams must not collapse either.
   EXPECT_GT(distinct_load.size(), 90u);
+  // Charlotte chaos (drops -> retransmits -> re-acks) differs per seed.
+  EXPECT_GT(distinct_charlotte.size(), 90u);
 }
 
 TEST(TraceDeterminism, FaultEventsLandInTheSameStream) {
