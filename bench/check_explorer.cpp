@@ -1,18 +1,27 @@
 // E13: the schedule-exploration checker as a CLI (DESIGN.md §9).
 //
-// Two phases, both reported as JSON lines and summarized for humans:
+// Four phases, all reported as JSON lines and summarized for humans:
 //
-//   1. sweep     — seeds x {charlotte, soda, chrysalis} x {fifo, perm}
-//                  x {none, ack-storm}; a conforming build finishes
-//                  with zero failures.
-//   2. self-test — the same universes with the deliberately injected
-//                  Charlotte re-ack bug armed; the checker must catch
-//                  it, shrink it, and emit a replayable repro token.
-//                  A checker that cannot see a planted bug proves
-//                  nothing about the absence of real ones.
+//   1. sweep           — seeds x {charlotte, soda, chrysalis} x {fifo,
+//                        perm} x {none, ack-storm} on the echo
+//                        workload; a conforming build finishes with
+//                        zero failures.
+//   2. self-test       — the same universes with the deliberately
+//                        injected Charlotte re-ack bug armed; the
+//                        checker must catch it, shrink it, and emit a
+//                        replayable repro token.  A checker that cannot
+//                        see a planted bug proves nothing about the
+//                        absence of real ones.
+//   3. replica sweep   — the replicated KV service under {none,
+//                        primary-crash, primary-bounce, backup-bounce}
+//                        on every substrate; the linearizability oracle
+//                        joins the panel (DESIGN.md §13).
+//   4. replica selftest— the planted stale-read bug armed; the
+//                        linearizability oracle must catch it and its
+//                        token must replay failing.
 //
-// Exit status is 0 only if the sweep is clean AND the self-test caught
-// the planted bug.  Flags:
+// Exit status is 0 only if the sweeps are clean AND both self-tests
+// caught their planted bug.  Flags:
 //   --smoke            CI budget: 10 seeds/universe instead of 100
 //   --seeds=N          explicit seed count
 //   --first-seed=N     start of the seed range (default 1)
@@ -143,6 +152,58 @@ int main(int argc, char** argv) {
           parsed.has_value() && !check::run_one(*parsed).ok;
       std::printf(
           "{\"phase\":\"selftest\",\"event\":\"repro\",\"token\":%s,"
+          "\"replays\":%d}\n",
+          f.token().c_str(), replays ? 1 : 0);
+      if (!replays) ok = false;
+    }
+  }
+
+  // ---- phase 3: replica sweep ----------------------------------------
+  check::ExploreOptions rep;
+  rep.workload = check::Workload::kReplica;
+  rep.seeds = seeds;
+  rep.first_seed = first_seed;
+  rep.plans = {check::PlanSpec::kNone, check::PlanSpec::kPrimaryCrash,
+               check::PlanSpec::kPrimaryBounce, check::PlanSpec::kBackupBounce};
+  const check::ExploreResult rep_swept = check::explore(rep);
+  std::printf(
+      "{\"phase\":\"replica-sweep\",\"runs\":%llu,\"shrink_runs\":%llu,"
+      "\"failures\":%zu}\n",
+      static_cast<unsigned long long>(rep_swept.runs),
+      static_cast<unsigned long long>(rep_swept.shrink_runs),
+      rep_swept.failures.size());
+  for (const check::FailureReport& f : rep_swept.failures) {
+    report_failure("replica-sweep", f);
+  }
+  if (!rep_swept.failures.empty()) ok = false;
+
+  // ---- phase 4: planted stale-read self-test -------------------------
+  if (selftest) {
+    check::ExploreOptions stale;
+    stale.workload = check::Workload::kReplica;
+    stale.seeds = seeds < 4 ? seeds : 4;
+    stale.first_seed = first_seed;
+    stale.plans = {check::PlanSpec::kNone};
+    stale.inject_stale_bug = true;
+    const check::ExploreResult caught = check::explore(stale);
+    const bool all_caught = caught.failures.size() ==
+                            static_cast<std::size_t>(caught.runs);
+    std::printf(
+        "{\"phase\":\"replica-selftest\",\"runs\":%llu,\"shrink_runs\":%llu,"
+        "\"caught\":%zu,\"all_caught\":%d}\n",
+        static_cast<unsigned long long>(caught.runs),
+        static_cast<unsigned long long>(caught.shrink_runs),
+        caught.failures.size(), all_caught ? 1 : 0);
+    if (!all_caught) {
+      std::printf("  planted stale-read bug escaped the oracle\n");
+      ok = false;
+    } else {
+      const check::FailureReport& f = caught.failures.front();
+      const auto parsed = check::parse_token(f.token());
+      const bool replays =
+          parsed.has_value() && !check::run_one(*parsed).ok;
+      std::printf(
+          "{\"phase\":\"replica-selftest\",\"event\":\"repro\",\"token\":%s,"
           "\"replays\":%d}\n",
           f.token().c_str(), replays ? 1 : 0);
       if (!replays) ok = false;

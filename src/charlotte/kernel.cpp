@@ -271,6 +271,7 @@ sim::Task<Status> Kernel::send(Pid caller, EndId end_id, Payload data,
   sim::Duration cost = costs.call_overhead + costs.frame_processing +
                        costs.per_byte_copy * static_cast<sim::Duration>(len);
   if (has_enclosure) cost += costs.enclosure_processing;
+  end->send->planned_tx_at = cluster_->engine().now() + cost;
   co_await cluster_->engine().sleep(cost);
   // Re-find the end: the sleep may have raced a destroy or a move.
   if (EndState* e = find_end(end_id);
@@ -551,16 +552,44 @@ void Kernel::owe_ack(EndId end_id, OwedAck owed) {
     flush_owed_ack(*end);
     return;
   }
-  end->ack_timer.cancel();
-  end->ack_timer = cluster_->engine().schedule_cancellable(
-      delay, [this, end_id, seq = owed.seq] {
-        EndState* e = find_end(end_id);
-        if (e == nullptr || !e->owed_ack.has_value() ||
-            e->owed_ack->seq != seq) {
-          return;
-        }
-        flush_owed_ack(*e);
-      });
+  // Decide one microstep later whether coalescing can pay off.  The
+  // delivery completion scheduled just before us wakes the receiving
+  // thread first (FIFO tie order), and a reply posts its SendActivity
+  // synchronously before sleeping through its send cost — so by the
+  // time this runs, any reverse traffic this ack could ride is already
+  // visible on the end.  If none is (the link is idle), or the posted
+  // frame will not reach the wire inside the coalescing window,
+  // withholding the ack buys nothing and costs the remote sender a
+  // full ack_coalesce_delay of retransmit-timer exposure (the E3
+  // regression): flush immediately instead.
+  cluster_->engine().schedule(0, [this, end_id, seq = owed.seq] {
+    EndState* e = find_end(end_id);
+    if (e == nullptr || !e->owed_ack.has_value() || e->owed_ack->seq != seq) {
+      return;
+    }
+    const sim::Duration window = cluster_->costs().ack_coalesce_delay;
+    const bool reverse_pending =
+        e->send.has_value() && e->send->first_sent_at == 0 &&
+        e->peer_node == e->owed_ack->to &&
+        e->send->planned_tx_at <= cluster_->engine().now() + window;
+    if (!reverse_pending) {
+      flush_owed_ack(*e);
+      return;
+    }
+    // A frame to the acked node hits the wire within the window: hold
+    // the ack for attach_piggyback, with the timer as a safety net in
+    // case that send dies before transmission.
+    e->ack_timer.cancel();
+    e->ack_timer = cluster_->engine().schedule_cancellable(
+        window, [this, end_id, seq] {
+          EndState* e2 = find_end(end_id);
+          if (e2 == nullptr || !e2->owed_ack.has_value() ||
+              e2->owed_ack->seq != seq) {
+            return;
+          }
+          flush_owed_ack(*e2);
+        });
+  });
 }
 
 void Kernel::flush_owed_ack(EndState& end) {

@@ -110,6 +110,9 @@ class Kernel {
                                   // are taken only from unretransmitted
                                   // exchanges)
     sim::Duration cur_rto = 0;    // current timeout; doubles per attempt
+    sim::Time planned_tx_at = 0;  // when the posted-but-unsent frame will
+                                  // reach the wire; lets the ack path see
+                                  // whether coalescing can ever pay off
   };
   struct RecvActivity {
     std::size_t max_len = 0;

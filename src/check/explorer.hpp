@@ -2,15 +2,19 @@
 // subsystem).
 //
 // One RunConfig = one fully reproducible universe: a kernel substrate,
-// an echo workload, an optional named fault plan, and ONE seed that
-// picks both the same-instant tie-break permutation (sim::TiePolicy)
-// and the fault/medium randomness.  run_one() builds the world, runs
-// it, and asks three oracles whether anything broke:
+// a workload (stateless echo or the replicated KV service), an optional
+// named fault plan, and ONE seed that picks both the same-instant
+// tie-break permutation (sim::TiePolicy) and the fault/medium
+// randomness.  run_one() builds the world, runs it, and asks the
+// oracles whether anything broke:
 //
 //   * the LYNX reference model (reference_model.hpp) replaying the
 //     runtime trace stream,
 //   * fault::InvariantChecker over the impaired medium,
-//   * the engine's own process-failure log.
+//   * the engine's own process-failure log,
+//   * the workload threads' failure logs,
+//   * for replica universes, the linearizability oracle
+//     (linearizability.hpp) over the clients' kv.invoke/ok/err history.
 //
 // explore() sweeps seeds x substrates x tie-break policies x plans; any
 // failure is auto-shrunk to the shortest permuted schedule prefix that
@@ -38,12 +42,27 @@ enum class PlanSpec : std::uint8_t {
   // replies are lost, exercising retransmit / dedup / re-ack recovery.
   // Recoverable by construction — the attempt budgets in run_one()'s
   // kernel costs outlast the window — so a conforming kernel finishes
-  // every call cleanly.
+  // every call cleanly.  Echo workload only.
   kAckStorm,
+  // Replica-workload crash plans (node crash/restart via the group's
+  // fault schedule, timed per substrate to land mid-commit-stream).
+  kPrimaryCrash,   // primary dies and never returns; fail-over only
+  kPrimaryBounce,  // primary dies, successor takes over, ex-primary
+                   // rejoins as a backup via full-state sync
+  kBackupBounce,   // last backup dies and rejoins; view never changes
 };
 
 [[nodiscard]] const char* to_string(PlanSpec spec);
 [[nodiscard]] std::optional<PlanSpec> plan_spec_from(std::string_view name);
+
+// What the universe runs on top of the substrate.  kEcho is the
+// original stateless ping workload; kReplica is the replicated KV
+// service (src/replica/), whose histories face the linearizability
+// oracle on top of the usual four.
+enum class Workload : std::uint8_t { kEcho = 0, kReplica };
+
+[[nodiscard]] const char* to_string(Workload w);
+[[nodiscard]] std::optional<Workload> workload_from(std::string_view name);
 
 struct RunConfig {
   load::Substrate substrate = load::Substrate::kCharlotte;
@@ -54,17 +73,22 @@ struct RunConfig {
   // shrinker, kNoHorizon = permute the whole run.
   std::uint64_t horizon = sim::TiePolicy::kNoHorizon;
   PlanSpec plan = PlanSpec::kNone;
+  Workload workload = Workload::kEcho;
   // Independent links between the pair, each driven by its own client
   // thread and served by its own server thread.  Concurrent channels
   // with identical runtime costs are what create same-instant ties for
   // the permutation policy to explore; 1 degenerates to a sequential
-  // run with (almost) nothing to permute.
+  // run with (almost) nothing to permute.  Replica universes read this
+  // as the client count.
   int channels = 2;
-  int calls = 4;  // per channel
+  int calls = 4;  // per channel (replica: ops per client)
   std::size_t bytes = 32;
   // Arms charlotte::Costs::debug_drop_reacks — the deliberately
   // injected semantic bug the checker's self-test must catch.
   bool inject_reack_bug = false;
+  // Arms replica::Options::debug_stale_reads — the planted stale-read
+  // bug the linearizability oracle's self-test must catch.
+  bool inject_stale_bug = false;
 };
 
 struct RunVerdict {
@@ -85,7 +109,9 @@ struct RunVerdict {
 // One-line JSON, e.g.
 //   {"v":1,"substrate":"charlotte","tie":"perm","seed":17,"horizon":42,
 //    "plan":"ack-storm","channels":2,"calls":4,"bytes":32,"bug":1}
-// "horizon" and "bug" are omitted when at their defaults.
+// "horizon", "workload", "bug" and "stale" are omitted when at their
+// defaults, so pre-replica tokens still parse (and old parsers still
+// read echo tokens).
 [[nodiscard]] std::string to_json(const RunConfig& cfg);
 [[nodiscard]] std::optional<RunConfig> parse_token(std::string_view json);
 
@@ -112,10 +138,12 @@ struct ExploreOptions {
   std::uint64_t seeds = 100;
   std::uint64_t first_seed = 1;
   std::vector<PlanSpec> plans = {PlanSpec::kNone};
+  Workload workload = Workload::kEcho;
   int channels = 2;
   int calls = 4;
   std::size_t bytes = 32;
-  bool inject_reack_bug = false;  // charlotte universes only
+  bool inject_reack_bug = false;  // charlotte echo universes only
+  bool inject_stale_bug = false;  // replica universes only
   bool shrink_failures = true;
 };
 
@@ -125,9 +153,12 @@ struct ExploreResult {
   std::vector<FailureReport> failures;
 };
 
-// Sweeps the cross product.  Fault plans are skipped on Chrysalis (its
-// processes share one Butterfly memory; there is no medium to impair),
-// as is the injected re-ack bug outside Charlotte.
+// Sweeps the cross product.  Plans that do not apply are skipped:
+// ack-storm needs a medium (not Chrysalis) and the echo workload; the
+// crash plans need the replica workload (and work on every substrate —
+// a Chrysalis "crash" is plain process termination).  The injected
+// re-ack bug only arms on Charlotte echo universes, the stale-read bug
+// only on replica ones.
 [[nodiscard]] ExploreResult explore(const ExploreOptions& opts);
 
 }  // namespace check

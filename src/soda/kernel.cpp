@@ -635,6 +635,33 @@ void Kernel::handle(const CrashNote& f, net::NodeId /*from*/) {
   raise(from_pid, intr);
 }
 
+void Kernel::announce_reboot() {
+  ++frames_out_;
+  if (auto* rec = trace::get(network_->engine())) {
+    rec->instant(node_.value(), "kernel", "node.reboot", 0, node_.value(), 0);
+  }
+  network_->medium().broadcast(net::Frame{
+      node_, net::NodeId::invalid(), 16, WireFrame(RebootNote{node_})});
+}
+
+void Kernel::handle(const RebootNote& f, net::NodeId /*from*/) {
+  // Everything we had rendezvoused at that node — parked or accepted —
+  // died with its old incarnation; the reply will never come.
+  std::vector<ReqId> doomed;
+  for (const auto& [id, out] : outstanding_) {
+    if (network_->node_of(out.target) == f.node) doomed.push_back(id);
+  }
+  for (const ReqId id : doomed) {
+    Outstanding& out = outstanding_.at(id);
+    CrashInterrupt intr{out.id, out.target};
+    const Pid from_pid = out.from;
+    per_pair_[pair_key(out.from, out.target)]--;
+    outstanding_.erase(id);
+    drop_transport(id);
+    raise(from_pid, intr);
+  }
+}
+
 void Kernel::handle(const DiscoverQuery& f, net::NodeId /*from*/) {
   for (const auto& [pid, names] : advertised_) {
     if (names.contains(f.name)) {

@@ -81,6 +81,14 @@ class Kernel {
   // ---- lifecycle -----------------------------------------------------------
   void register_process(Pid pid);
   void terminate_process(Pid pid);
+  // A node that comes back after a crash announces itself: one
+  // broadcast "I rebooted" frame.  Peer kernels conclude that every
+  // rendezvous they had parked or accepted at that node died with it
+  // and raise CrashInterrupts for those requests.  This is SODA's lazy
+  // counterpart to Charlotte's absolute node-down notice: nothing is
+  // learned while the node is down (silence is handled by transport
+  // exhaustion), only when it returns.
+  void announce_reboot();
 
   // ---- instrumentation -------------------------------------------------------
   [[nodiscard]] std::uint64_t frames_emitted() const { return frames_out_; }
@@ -198,9 +206,12 @@ class Kernel {
     Name name;
     Pid pid;
   };
+  struct RebootNote {
+    net::NodeId node;
+  };
   using WireFrame = std::variant<ReqFrag, ReqNack, AcceptFrag, CrashNote,
                                  DiscoverQuery, DiscoverReply, ReqAck,
-                                 AcceptAck>;
+                                 AcceptAck, RebootNote>;
 
   void on_frame(const net::Frame& frame);
   void handle(const ReqFrag& f, net::NodeId from);
@@ -211,6 +222,7 @@ class Kernel {
   void handle(const DiscoverReply& f, net::NodeId from);
   void handle(const ReqAck& f, net::NodeId from);
   void handle(const AcceptAck& f, net::NodeId from);
+  void handle(const RebootNote& f, net::NodeId from);
 
   // `trace` stamps the outgoing net::Frame (and the frame.tx record);
   // pass the fragment's trace where one exists, 0 for protocol frames.
