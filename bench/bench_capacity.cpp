@@ -15,6 +15,7 @@
 // checked-in baseline (bench/baselines/): exits nonzero on a >10%
 // regression, so CI catches an ack-protocol slowdown at the PR.
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -30,14 +31,22 @@ using namespace bench;
 // uncontended tail (Charlotte's ~57 ms included) sits far below it.
 constexpr double kKneeBoundMs = 250.0;
 
+// --formation=on arms RPC formation (src/form/, DESIGN.md §14) in every
+// scenario this bench runs; the scenario name gains a "+form" suffix so
+// curve JSON from the two modes never collides, and the baseline gate
+// (calibrated formation-off) refuses to gate a formation run.
+bool g_formation = false;
+constexpr sim::Duration kFormDelay = sim::msec(2);
+
 load::Scenario base_scenario(bool smoke) {
   load::Scenario sc;
-  sc.name = "fan-in-4x1";
+  sc.name = g_formation ? "fan-in-4x1+form" : "fan-in-4x1";
   sc.clients = 4;
   sc.servers = 1;
   sc.arrival = load::Arrival::kOpenPoisson;
   sc.mix = {{64, 64, 1.0}};
   sc.seed = bench::seed();
+  if (g_formation) sc.form_delay = kFormDelay;
   if (smoke) {
     sc.warmup = sim::msec(250);
     sc.measure = sim::sec(1);
@@ -62,6 +71,8 @@ void emit_point(const char* kind, const load::Report& r, double rate) {
       .field("samples", r.samples)
       .field("dropped", r.dropped)
       .field("backlog_end", r.backlog_end)
+      .field("wire_ops", r.wire_ops)
+      .field("frames_per_op", r.frames_per_op)
       .emit();
 }
 
@@ -145,13 +156,103 @@ double capacity_report(bool smoke) {
         .emit();
     for (const auto& pt : cap.curve) emit_point("probe", pt.report, pt.rate);
   }
-  RELYNX_ASSERT_MSG(
-      peaks[static_cast<int>(load::Substrate::kSoda)] >
-          peaks[static_cast<int>(load::Substrate::kCharlotte)],
-      "SODA must out-sustain Charlotte (paper latency ordering)");
-  print_note("every peak is finite, and SODA sustains more than Charlotte —");
-  print_note("the paper's latency ordering carries over to capacity.");
+  if (!g_formation) {
+    // Formation shifts both kernels' knees (batching trades latency for
+    // frames), so the paper-ordering invariant is only asserted on the
+    // frame-per-message wire the paper describes.
+    RELYNX_ASSERT_MSG(
+        peaks[static_cast<int>(load::Substrate::kSoda)] >
+            peaks[static_cast<int>(load::Substrate::kCharlotte)],
+        "SODA must out-sustain Charlotte (paper latency ordering)");
+    print_note("every peak is finite, and SODA sustains more than Charlotte —");
+    print_note("the paper's latency ordering carries over to capacity.");
+  }
   return charlotte_tput;
+}
+
+// ---- E16: formation ablation at pipeline depth 8 ---------------------------
+
+// The formation layer's target workload: one client keeps 8 concurrent
+// calls in flight on independent channels to one server (closed loop,
+// zero think — RPC pipelining at depth 8), so both directions of the
+// single client<->server pair carry two co-destined small frames per
+// op.  The ablation runs every substrate with formation off and on and
+// reports the frames-per-delivered-message ratio — the ISSUE's
+// acceptance bar is >= 2x fewer wire frames per op at this depth.
+//
+// The formation window is matched per substrate to the kernel's frame
+// service timescale; a window far below it never sees a second
+// co-destined frame, and a window far above it starves the transport
+// (SODA retransmits, Charlotte idles the token):
+//   * Charlotte: 20 ms ~ one token rotation of the loaded ring — frames
+//     queue behind the token anyway, so forming is nearly free and
+//     batches span ops (measured ~2.9x).
+//   * SODA: 5 ms, under the transport RTO (12 ms) so held frames never
+//     masquerade as loss.  Each op's accept+reply (and reply-accept +
+//     next request) pair per direction: exactly 2x.
+//   * Chrysalis: 10 ms ~ the pump's service time for a full window of
+//     8 ops.  Consume-ack + reply notices pair per direction: 2x.
+sim::Duration form_delay_for(load::Substrate sub) {
+  switch (sub) {
+    case load::Substrate::kCharlotte: return sim::msec(20);
+    case load::Substrate::kSoda: return sim::msec(5);
+    case load::Substrate::kChrysalis: return sim::msec(10);
+  }
+  return kFormDelay;
+}
+
+load::Scenario depth8_scenario(bool smoke, load::Substrate sub,
+                               bool formation) {
+  load::Scenario sc = base_scenario(smoke);
+  sc.name = formation ? "depth8+form" : "depth8";
+  sc.clients = 1;
+  sc.servers = 1;
+  sc.channels_per_client = 8;
+  sc.arrival = load::Arrival::kClosed;
+  sc.think = 0;
+  sc.form_delay = formation ? form_delay_for(sub) : sim::Duration(0);
+  return sc;
+}
+
+void formation_report(bool smoke, sweep::ThreadPool& pool) {
+  table_header("E16: RPC formation on/off (closed loop, pipeline depth 8)");
+  std::printf("%-10s %-6s %12s %10s %10s %12s %10s\n", "backend", "form",
+              "delivered/s", "p50 ms", "p99 ms", "frames/op", "ratio");
+  const std::vector<int> modes = {0, 1};
+  for (load::Substrate sub : load::all_substrates()) {
+    const auto reports = sweep::map<int, load::Report>(
+        modes,
+        [sub, smoke](const int& on) {
+          return load::run_scenario(sub, depth8_scenario(smoke, sub, on != 0));
+        },
+        pool);
+    const load::Report& off = reports[0];
+    const load::Report& on = reports[1];
+    const double ratio =
+        on.frames_per_op > 0 ? off.frames_per_op / on.frames_per_op : 0.0;
+    for (const int mode : modes) {
+      const load::Report& r = reports[static_cast<std::size_t>(mode)];
+      char ratio_col[16] = "-";
+      if (mode != 0) std::snprintf(ratio_col, sizeof ratio_col, "%.2fx", ratio);
+      std::printf("%-10s %-6s %12.1f %10.2f %10.2f %12.3f %10s\n",
+                  r.backend.c_str(), mode != 0 ? "on" : "off", r.throughput,
+                  r.p50_ms, r.p99_ms, r.frames_per_op, ratio_col);
+      emit_point(mode != 0 ? "formation-on" : "formation-off", r, 0.0);
+    }
+    json()
+        .field("kind", "formation_ablation")
+        .field("backend", off.backend)
+        .field("form_delay_ms", sim::to_msec(form_delay_for(sub)))
+        .field("frames_per_op_off", off.frames_per_op)
+        .field("frames_per_op_on", on.frames_per_op)
+        .field("frame_ratio", ratio)
+        .field("throughput_off", off.throughput)
+        .field("throughput_on", on.throughput)
+        .emit();
+  }
+  print_note("frames/op counts wire frames (Charlotte/SODA medium frames,");
+  print_note("Chrysalis dual-queue enqueue calls) per delivered reply; the");
+  print_note("ratio column is the off/on frame saving from batching.");
 }
 
 // ---- baseline gate ---------------------------------------------------------
@@ -168,10 +269,27 @@ double json_number_field(const std::string& text, const std::string& key) {
   return std::strtod(text.c_str() + p + 1, nullptr);
 }
 
+// Reads one string field out of the same flat JSON object.  Returns ""
+// if the key is absent or not a quoted string.
+std::string json_string_field(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t p = text.find(':', at + needle.size());
+  if (p == std::string::npos) return "";
+  p = text.find('"', p + 1);
+  if (p == std::string::npos) return "";
+  const std::size_t end = text.find('"', p + 1);
+  if (end == std::string::npos) return "";
+  return text.substr(p + 1, end - p - 1);
+}
+
 // Compares the measured Charlotte peak against the checked-in baseline.
 // Returns false (CI failure) on a >10% throughput regression.  Better
 // peaks pass with a note: refreshing the baseline file is a deliberate,
-// reviewed act, not something a lucky run does implicitly.
+// reviewed act, not something a lucky run does implicitly.  Pass or
+// fail, the verdict line names the scenario, the metric, and the signed
+// delta, so a red CI log says *what* regressed without opening JSON.
 bool baseline_gate(const std::string& path, double measured) {
   std::ifstream in(path);
   if (!in) {
@@ -180,23 +298,34 @@ bool baseline_gate(const std::string& path, double measured) {
   }
   std::stringstream buf;
   buf << in.rdbuf();
-  const double expected = json_number_field(buf.str(), "peak_throughput");
+  const std::string text = buf.str();
+  const double expected = json_number_field(text, "peak_throughput");
   if (!(expected > 0)) {
-    std::fprintf(stderr, "baseline gate: no peak_throughput in %s\n",
+    std::fprintf(stderr,
+                 "baseline gate: no peak_throughput metric in %s\n",
                  path.c_str());
     return false;
   }
+  std::string scenario = json_string_field(text, "scenario");
+  if (scenario.empty()) scenario = "(unnamed)";
   constexpr double kTolerance = 0.10;
   const double floor = expected * (1.0 - kTolerance);
+  const double delta_pct = (measured - expected) / expected * 100.0;
   const bool ok = measured >= floor;
-  std::printf("baseline gate: charlotte peak %.1f/s vs baseline %.1f/s "
-              "(floor %.1f/s): %s\n",
-              measured, expected, floor, ok ? "ok" : "REGRESSION");
+  std::printf(
+      "baseline gate %s: scenario %s, metric peak_throughput (charlotte): "
+      "measured %.2f/s vs baseline %.2f/s, delta %+.1f%% "
+      "(tolerance -%.0f%%, floor %.2f/s)\n",
+      ok ? "ok" : "REGRESSION", scenario.c_str(), measured, expected,
+      delta_pct, kTolerance * 100.0, floor);
   json()
       .field("kind", "baseline_check")
       .field("backend", "charlotte")
+      .field("scenario", scenario)
+      .field("metric", "peak_throughput")
       .field("measured_peak_throughput", measured)
       .field("baseline_peak_throughput", expected)
+      .field("delta_pct", delta_pct)
       .field("tolerance", kTolerance)
       .field("ok", ok ? 1.0 : 0.0)
       .emit();
@@ -297,6 +426,10 @@ int main(int argc, char** argv) {
       baseline = arg.substr(std::string("--baseline=").size());
       continue;
     }
+    if (arg == "--formation=on" || arg == "--formation=off") {
+      g_formation = arg == "--formation=on";
+      continue;
+    }
     argv[kept++] = argv[i];
   }
   argc = kept;
@@ -306,9 +439,18 @@ int main(int argc, char** argv) {
   curves_report(smoke, pool);
   const double charlotte_peak = capacity_report(smoke);
   payload_report(smoke, pool);
+  formation_report(smoke, pool);
   traced_run(smoke);
 
   bool gate_ok = true;
+  if (!baseline.empty() && g_formation) {
+    // The checked-in baseline measures the frame-per-message wire; a
+    // formation-on peak is a different quantity and must not be gated
+    // (or silently refreshed) against it.
+    print_note("baseline gate skipped: --formation=on changes the measured");
+    print_note("quantity; the gate only runs on formation-off invocations.");
+    baseline.clear();
+  }
   if (!baseline.empty()) gate_ok = baseline_gate(baseline, charlotte_peak);
 
   benchmark::Initialize(&argc, argv);

@@ -110,7 +110,8 @@ int main(int argc, char** argv) {
   check::ExploreOptions sweep;
   sweep.seeds = seeds;
   sweep.first_seed = first_seed;
-  sweep.plans = {check::PlanSpec::kNone, check::PlanSpec::kAckStorm};
+  sweep.plans = {check::PlanSpec::kNone, check::PlanSpec::kAckStorm,
+                 check::PlanSpec::kBatchStorm};
   const check::ExploreResult swept = check::explore(sweep);
   std::printf(
       "{\"phase\":\"sweep\",\"runs\":%llu,\"shrink_runs\":%llu,"
@@ -176,6 +177,25 @@ int main(int argc, char** argv) {
     report_failure("replica-sweep", f);
   }
   if (!rep_swept.failures.empty()) ok = false;
+
+  // ---- phase 3b: replica sweep with RPC formation armed --------------
+  // The commit fan-out batches Apply frames; the Wing–Gong oracle must
+  // stay clean with batches (and whole batches dying mid-fail-over).
+  check::ExploreOptions repf = rep;
+  repf.seeds = seeds < 10 ? seeds : 10;
+  repf.plans = {check::PlanSpec::kNone, check::PlanSpec::kPrimaryBounce};
+  repf.formation = true;
+  const check::ExploreResult repf_swept = check::explore(repf);
+  std::printf(
+      "{\"phase\":\"replica-formation\",\"runs\":%llu,\"shrink_runs\":%llu,"
+      "\"failures\":%zu}\n",
+      static_cast<unsigned long long>(repf_swept.runs),
+      static_cast<unsigned long long>(repf_swept.shrink_runs),
+      repf_swept.failures.size());
+  for (const check::FailureReport& f : repf_swept.failures) {
+    report_failure("replica-formation", f);
+  }
+  if (!repf_swept.failures.empty()) ok = false;
 
   // ---- phase 4: planted stale-read self-test -------------------------
   if (selftest) {

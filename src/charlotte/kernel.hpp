@@ -29,6 +29,7 @@
 #include "charlotte/types.hpp"
 #include "charlotte/wire.hpp"
 #include "common/result.hpp"
+#include "form/packer.hpp"
 #include "net/packet.hpp"
 #include "net/token_ring.hpp"
 #include "sim/engine.hpp"
@@ -96,6 +97,8 @@ class Kernel {
     return move_frames_;
   }
   [[nodiscard]] std::uint64_t nack_retransmits() const { return retransmits_; }
+  // The RPC-formation packer between this kernel and the medium (E16).
+  [[nodiscard]] const form::Packer& packer() const { return packer_; }
 
  private:
   friend class Cluster;
@@ -178,6 +181,7 @@ class Kernel {
 
   // frame handling
   void on_frame(const net::Frame& frame);
+  void on_batch(const net::Frame& frame);
   void handle(const wire::Msg& m, net::NodeId from);
   void handle(const wire::MsgAck& m, net::NodeId from);
   void handle(const wire::MsgNackMoved& m, net::NodeId from);
@@ -224,6 +228,7 @@ class Kernel {
 
   Cluster* cluster_;
   net::NodeId node_;
+  form::Packer packer_;  // sits between transmit() and the medium
   std::unordered_map<EndId, EndState> ends_;
   std::unordered_map<LinkId, HomeRecord> homes_;
   std::unordered_map<EndId, net::NodeId> forwarded_;  // tombstones

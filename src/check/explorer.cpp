@@ -31,6 +31,13 @@ using net::NodeId;
 constexpr sim::Time kStormFrom = sim::msec(60);
 constexpr sim::Time kStormTo = sim::msec(310);
 
+// Formation window armed by RunConfig::formation / PlanSpec::kBatchStorm.
+constexpr sim::Duration kFormDelay = sim::msec(2);
+
+[[nodiscard]] bool formation_on(const RunConfig& cfg) {
+  return cfg.formation || cfg.plan == PlanSpec::kBatchStorm;
+}
+
 fault::Plan plan_of(PlanSpec spec) {
   switch (spec) {
     case PlanSpec::kNone:
@@ -40,6 +47,12 @@ fault::Plan plan_of(PlanSpec spec) {
       // through, but their acks and the replies do not.
       return fault::Plan{}.drop_between(kStormFrom, kStormTo, 1.0, NodeId(0),
                                         NodeId(1));
+    case PlanSpec::kBatchStorm:
+      // Both directions dark: whole form::Batch frames die, losing all
+      // their enclosures at once; the transport must re-deliver them.
+      return fault::Plan{}
+          .drop_between(kStormFrom, kStormTo, 1.0, NodeId(0), NodeId(1))
+          .drop_between(kStormFrom, kStormTo, 1.0, NodeId(1), NodeId(0));
     case PlanSpec::kPrimaryCrash:
     case PlanSpec::kPrimaryBounce:
     case PlanSpec::kBackupBounce:
@@ -61,15 +74,23 @@ charlotte::Costs charlotte_costs(const RunConfig& cfg) {
   c.send_retransmit_timeout = sim::msec(100);
   c.max_send_attempts = 8;
   c.debug_drop_reacks = cfg.inject_reack_bug;
+  if (formation_on(cfg)) c.form_delay = kFormDelay;
   return c;
 }
 
-soda::Costs soda_costs() {
+soda::Costs soda_costs(const RunConfig& cfg) {
   soda::Costs c;
   // 40 x 12ms of per-fragment retransmission outlasts the storm window.
   c.ack_timeout = sim::msec(12);
   c.max_transport_attempts = 40;
+  if (formation_on(cfg)) c.form_delay = kFormDelay;
   return c;
+}
+
+lynx::ChrysalisBackendParams chrysalis_params(const RunConfig& cfg) {
+  lynx::ChrysalisBackendParams p;
+  if (formation_on(cfg)) p.form_delay = kFormDelay;
+  return p;
 }
 
 net::CsmaBusParams quiet_bus() {
@@ -115,6 +136,7 @@ const char* to_string(PlanSpec spec) {
   switch (spec) {
     case PlanSpec::kNone: return "none";
     case PlanSpec::kAckStorm: return "ack-storm";
+    case PlanSpec::kBatchStorm: return "batch-storm";
     case PlanSpec::kPrimaryCrash: return "primary-crash";
     case PlanSpec::kPrimaryBounce: return "primary-bounce";
     case PlanSpec::kBackupBounce: return "backup-bounce";
@@ -125,6 +147,7 @@ const char* to_string(PlanSpec spec) {
 std::optional<PlanSpec> plan_spec_from(std::string_view name) {
   if (name == "none") return PlanSpec::kNone;
   if (name == "ack-storm") return PlanSpec::kAckStorm;
+  if (name == "batch-storm") return PlanSpec::kBatchStorm;
   if (name == "primary-crash") return PlanSpec::kPrimaryCrash;
   if (name == "primary-bounce") return PlanSpec::kPrimaryBounce;
   if (name == "backup-bounce") return PlanSpec::kBackupBounce;
@@ -172,6 +195,7 @@ replica::Options replica_options_of(const RunConfig& cfg) {
   o.ops_per_client = cfg.calls;
   o.seed = cfg.seed;
   o.debug_stale_reads = cfg.inject_stale_bug;
+  if (formation_on(cfg)) o.form_delay = kFormDelay;
   const FaultTimes ft = fault_times(cfg.substrate);
   switch (cfg.plan) {
     case PlanSpec::kPrimaryCrash:
@@ -299,7 +323,7 @@ RunVerdict run_one(const RunConfig& cfg) {
           std::make_unique<fault::FaultyMedium>(engine, *bus, cfg.seed, plan);
       invariants = std::make_unique<fault::InvariantChecker>(*medium);
       network =
-          std::make_unique<soda::Network>(engine, 2, *medium, soda_costs());
+          std::make_unique<soda::Network>(engine, 2, *medium, soda_costs(cfg));
       server = std::make_unique<lynx::Process>(
           engine, "server",
           lynx::make_soda_backend(*network, directory, NodeId(0)),
@@ -316,10 +340,14 @@ RunVerdict run_one(const RunConfig& cfg) {
       kernel = std::make_unique<chrysalis::Kernel>(engine,
                                                    net::ButterflyParams{});
       server = std::make_unique<lynx::Process>(
-          engine, "server", lynx::make_chrysalis_backend(*kernel, NodeId(0)),
+          engine, "server",
+          lynx::make_chrysalis_backend(*kernel, NodeId(0),
+                                       chrysalis_params(cfg)),
           lynx::mc68000_runtime_costs());
       client = std::make_unique<lynx::Process>(
-          engine, "client", lynx::make_chrysalis_backend(*kernel, NodeId(1)),
+          engine, "client",
+          lynx::make_chrysalis_backend(*kernel, NodeId(1),
+                                       chrysalis_params(cfg)),
           lynx::mc68000_runtime_costs());
       break;
     }
@@ -404,6 +432,7 @@ std::string to_json(const RunConfig& cfg) {
   j += ",\"bytes\":" + std::to_string(cfg.bytes);
   if (cfg.inject_reack_bug) j += ",\"bug\":1";
   if (cfg.inject_stale_bug) j += ",\"stale\":1";
+  if (cfg.formation) j += ",\"form\":1";
   j += "}";
   return j;
 }
@@ -498,6 +527,9 @@ std::optional<RunConfig> parse_token(std::string_view json) {
   if (const auto stale = json_u64(json, "stale")) {
     cfg.inject_stale_bug = *stale != 0;
   }
+  if (const auto form = json_u64(json, "form")) {
+    cfg.formation = *form != 0;
+  }
   return cfg;
 }
 
@@ -556,7 +588,7 @@ ExploreResult explore(const ExploreOptions& opts) {
       // Plan applicability: ack-storm impairs a medium (Chrysalis has
       // none) and is tuned for the echo pair; the crash plans drive the
       // replica group's fault schedule and work on every substrate.
-      if (plan == PlanSpec::kAckStorm &&
+      if ((plan == PlanSpec::kAckStorm || plan == PlanSpec::kBatchStorm) &&
           (substrate == load::Substrate::kChrysalis ||
            opts.workload != Workload::kEcho)) {
         continue;
@@ -580,6 +612,7 @@ ExploreResult explore(const ExploreOptions& opts) {
                                  substrate == load::Substrate::kCharlotte;
           cfg.inject_stale_bug =
               opts.inject_stale_bug && opts.workload == Workload::kReplica;
+          cfg.formation = opts.formation;
           ++res.runs;
           RunVerdict verdict = run_one(cfg);
           if (verdict.ok) continue;

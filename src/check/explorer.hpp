@@ -44,6 +44,12 @@ enum class PlanSpec : std::uint8_t {
   // kernel costs outlast the window — so a conforming kernel finishes
   // every call cleanly.  Echo workload only.
   kAckStorm,
+  // Both directions of the node 0 <-> node 1 pair go dark in the same
+  // window, with RPC formation forced ON (DESIGN.md §14): a dropped
+  // form::Batch loses every enclosure at once, so recovery must
+  // re-deliver whole batches' worth of messages, not single frames.
+  // Same recoverability budget as ack-storm.  Echo workload only.
+  kBatchStorm,
   // Replica-workload crash plans (node crash/restart via the group's
   // fault schedule, timed per substrate to land mid-commit-stream).
   kPrimaryCrash,   // primary dies and never returns; fail-over only
@@ -89,6 +95,10 @@ struct RunConfig {
   // Arms replica::Options::debug_stale_reads — the planted stale-read
   // bug the linearizability oracle's self-test must catch.
   bool inject_stale_bug = false;
+  // Arms RPC formation (form_delay = 2ms) in the universe's kernel
+  // costs / backend params on every substrate.  kBatchStorm implies it
+  // — without formation there are no batches to drop.
+  bool formation = false;
 };
 
 struct RunVerdict {
@@ -144,6 +154,7 @@ struct ExploreOptions {
   std::size_t bytes = 32;
   bool inject_reack_bug = false;  // charlotte echo universes only
   bool inject_stale_bug = false;  // replica universes only
+  bool formation = false;         // arm RPC formation in every universe
   bool shrink_failures = true;
 };
 

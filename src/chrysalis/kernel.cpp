@@ -350,8 +350,30 @@ sim::Task<Result<DqId>> Kernel::make_dual_queue(Pid caller,
   co_return id;
 }
 
+Status Kernel::deliver_to_queue(DualQueue& q, std::uint32_t datum) {
+  if (!q.waiters.empty()) {
+    // "An enqueue operation on a queue containing event block names
+    // actually posts a queued event instead of adding its datum."
+    const EventId target = q.waiters.front();
+    q.waiters.pop_front();
+    auto ev = events_.find(target);
+    if (ev != events_.end()) {
+      if (ev->second.waiter != nullptr && !ev->second.waiter->fulfilled()) {
+        ev->second.waiter->fulfill(datum);
+      } else {
+        ev->second.pending.push_back(datum);
+      }
+    }
+    return Status::kOk;
+  }
+  if (q.data.size() >= q.capacity) return Status::kQueueFull;
+  q.data.push_back(datum);
+  return Status::kOk;
+}
+
 sim::Task<Status> Kernel::enqueue(Pid caller, DqId id, std::uint32_t datum) {
   ++ops_;
+  ++enqueue_calls_;
   auto it = queues_.find(id);
   if (it == queues_.end()) {
     co_await engine_->sleep(costs_.primitive_call);
@@ -365,25 +387,37 @@ sim::Task<Status> Kernel::enqueue(Pid caller, DqId id, std::uint32_t datum) {
   // queue object may have been reclaimed across the suspension
   auto it2 = queues_.find(id);
   if (it2 == queues_.end()) co_return Status::kNoSuchObject;
-  DualQueue& q2 = it2->second;
-  if (!q2.waiters.empty()) {
-    // "An enqueue operation on a queue containing event block names
-    // actually posts a queued event instead of adding its datum."
-    const EventId target = q2.waiters.front();
-    q2.waiters.pop_front();
-    auto ev = events_.find(target);
-    if (ev != events_.end()) {
-      if (ev->second.waiter != nullptr && !ev->second.waiter->fulfilled()) {
-        ev->second.waiter->fulfill(datum);
-      } else {
-        ev->second.pending.push_back(datum);
-      }
-    }
-    co_return Status::kOk;
+  co_return deliver_to_queue(it2->second, datum);
+}
+
+sim::Task<Status> Kernel::enqueue_many(Pid caller, DqId id,
+                                       std::vector<std::uint32_t> data) {
+  if (data.empty()) co_return Status::kOk;
+  ++ops_;
+  ++enqueue_calls_;
+  auto it = queues_.find(id);
+  if (it == queues_.end()) {
+    co_await engine_->sleep(costs_.primitive_call);
+    co_return Status::kNoSuchObject;
   }
-  if (q2.data.size() >= q2.capacity) co_return Status::kQueueFull;
-  q2.data.push_back(datum);
-  co_return Status::kOk;
+  DualQueue& q = it->second;
+  const bool remote = is_remote(caller, q.home);
+  if (remote) ++remote_;
+  // One dispatch + one switch setup for the whole batch; each datum
+  // after the first costs only dq_enqueue_extra.
+  co_await engine_->sleep(costs_.primitive_call + costs_.dq_enqueue +
+                          costs_.dq_enqueue_extra *
+                              static_cast<sim::Duration>(data.size() - 1) +
+                          (remote ? fabric_.word_reference(true) : 0));
+  auto it2 = queues_.find(id);
+  if (it2 == queues_.end()) co_return Status::kNoSuchObject;
+  Status status = Status::kOk;
+  for (const std::uint32_t datum : data) {
+    if (deliver_to_queue(it2->second, datum) == Status::kQueueFull) {
+      status = Status::kQueueFull;  // that datum dropped; keep delivering
+    }
+  }
+  co_return status;
 }
 
 sim::Task<Result<Kernel::DequeueOutcome>> Kernel::dequeue(Pid caller, DqId id,

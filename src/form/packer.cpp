@@ -1,0 +1,97 @@
+#include "form/packer.hpp"
+
+#include <utility>
+
+#include "trace/trace.hpp"
+
+namespace form {
+
+Packer::Packer(sim::Engine& engine, net::Medium& medium, net::NodeId src,
+               Params params)
+    : engine_(&engine), medium_(&medium), src_(src), params_(params) {}
+
+Packer::~Packer() {
+  // Never flush here: teardown runs after the engine stopped, and
+  // pending enclosures die with the run exactly like parked frames do.
+  for (auto& [dst, q] : queues_) q.deadline.cancel();
+}
+
+void Packer::submit(net::Frame frame) {
+  if (!enabled()) {
+    // Formation off: byte-identical to the frame-per-message wire.
+    medium_->send(std::move(frame));
+    return;
+  }
+  const net::NodeId dst = frame.dst;
+  Queue& q = queues_[dst];
+  const std::size_t wrapped = wrapped_bytes(frame);
+  // A frame that would blow the byte budget closes the current batch
+  // first; FIFO order to this destination is preserved either way.
+  if (!q.pending.empty() &&
+      kBatchHeaderBytes + q.bytes + wrapped > params_.max_bytes) {
+    do_flush(dst, q);
+  }
+  q.pending.push_back(std::move(frame));
+  q.bytes += wrapped;
+  if (kBatchHeaderBytes + q.bytes >= params_.max_bytes) {
+    do_flush(dst, q);
+  } else if (q.pending.size() == 1) {
+    q.deadline = engine_->schedule_cancellable(params_.delay,
+                                               [this, dst] { flush(dst); });
+  }
+}
+
+void Packer::submit_broadcast(net::Frame frame) {
+  if (enabled()) flush_all();
+  medium_->broadcast(std::move(frame));
+}
+
+void Packer::flush(net::NodeId dst) {
+  auto it = queues_.find(dst);
+  if (it != queues_.end()) do_flush(dst, it->second);
+}
+
+void Packer::flush_all() {
+  for (auto& [dst, q] : queues_) do_flush(dst, q);
+}
+
+void Packer::do_flush(net::NodeId dst, Queue& q) {
+  if (q.pending.empty()) return;
+  q.deadline.cancel();
+  const std::size_t bytes = q.bytes;
+  std::vector<net::Frame> frames = std::move(q.pending);
+  q.pending.clear();
+  q.bytes = 0;
+
+  if (frames.size() == 1) {
+    // Sparse traffic: the lone enclosure goes out unwrapped, so the
+    // wire format (and every byte the medium charges) is unchanged.
+    ++singles_;
+    medium_->send(std::move(frames.front()));
+    return;
+  }
+
+  // The batch inherits the first traced enclosure's identity so fault
+  // observers can still name the operation a dropped batch serves; the
+  // per-enclosure TraceIds ride inside for the receive-side records.
+  std::uint64_t trace = 0;
+  for (const net::Frame& f : frames) {
+    if (f.trace_id != 0) {
+      trace = f.trace_id;
+      break;
+    }
+  }
+  const std::size_t count = frames.size();
+  ++batches_;
+  enclosed_ += count;
+  net::Frame out{src_, dst, kBatchHeaderBytes + bytes,
+                 Batch{std::move(frames)}};
+  out.trace_id = trace;
+  if (auto* rec = trace::get(*engine_)) {
+    rec->instant(src_.value(), "wire", "batch.tx", trace, count,
+                 out.payload_bytes);
+  }
+  medium_->send(std::move(out));
+}
+
+}  // namespace form

@@ -1,5 +1,6 @@
 #include "load/fleet.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -30,17 +31,38 @@ Fleet::Fleet(Substrate substrate, const Scenario& sc) : substrate_(substrate) {
   RELYNX_ASSERT(sc.servers >= 1 && sc.clients >= 1);
   RELYNX_ASSERT(sc.channels_per_client >= 1 && sc.server_threads >= 1);
   const std::size_t total = sc.servers + sc.clients;
+  form_delay_ = sc.form_delay;
+  form_max_bytes_ = sc.form_max_bytes;
   switch (substrate_) {
-    case Substrate::kCharlotte:
-      charlotte_cluster_ = std::make_unique<charlotte::Cluster>(engine_, total);
+    case Substrate::kCharlotte: {
+      charlotte::Costs costs;
+      costs.form_delay = sc.form_delay;
+      costs.form_max_bytes = sc.form_max_bytes;
+      charlotte_cluster_ = std::make_unique<charlotte::Cluster>(
+          engine_, total, net::TokenRingParams{}, costs);
       break;
+    }
     case Substrate::kSoda: {
       // A quiet bus: capacity is a property of the kernel interface and
       // protocol here, not of injected loss (src/fault/ owns that).
       net::CsmaBusParams p;
       p.broadcast_drop_prob = 0.0;
+      soda::Costs costs;
+      costs.form_delay = sc.form_delay;
+      costs.form_max_bytes = sc.form_max_bytes;
+      // Each LYNX link end parks one standing status signal at its peer
+      // (SodaBackend::post_signal), so a client pipelining across N
+      // channels holds N signal slots PLUS up to N data requests against
+      // the §4.2.1 per-pair admission budget — at N == the default budget
+      // of 8 the signals alone fill it and every data request bounces
+      // with kTooManyRequests forever.  Scale the budget with the wiring
+      // so deep-pipeline scenarios saturate on the wire, not on the
+      // admission limit.
+      costs.max_outstanding_per_pair = std::max(
+          costs.max_outstanding_per_pair,
+          static_cast<int>(2 * sc.channels_per_client + 2));
       soda_network_ = std::make_unique<soda::Network>(
-          engine_, total, sim::Rng(sc.seed ^ 0x50da50daULL), p);
+          engine_, total, sim::Rng(sc.seed ^ 0x50da50daULL), p, costs);
       break;
     }
     case Substrate::kChrysalis: {
@@ -95,13 +117,32 @@ std::unique_ptr<lynx::Process> Fleet::make_process(std::string name,
           engine_, std::move(name),
           lynx::make_soda_backend(*soda_network_, directory_, nid),
           lynx::pdp11_runtime_costs());
-    case Substrate::kChrysalis:
+    case Substrate::kChrysalis: {
+      lynx::ChrysalisBackendParams bp;
+      bp.form_delay = form_delay_;
+      // Scale the byte budget into a notice budget: notices are one
+      // 32-bit datum each, and 64-per-batch keeps parity with the
+      // default 1024-byte frame budget holding ~64 small enclosures.
+      bp.form_max_notices = std::max<std::size_t>(2, form_max_bytes_ / 16);
       return std::make_unique<lynx::Process>(
           engine_, std::move(name),
-          lynx::make_chrysalis_backend(*chrysalis_kernel_, nid),
+          lynx::make_chrysalis_backend(*chrysalis_kernel_, nid, bp),
           lynx::mc68000_runtime_costs());
+    }
   }
   return nullptr;
+}
+
+std::uint64_t Fleet::wire_ops() {
+  switch (substrate_) {
+    case Substrate::kCharlotte:
+      return charlotte_cluster_->medium().frames_sent();
+    case Substrate::kSoda:
+      return soda_network_->medium().frames_sent();
+    case Substrate::kChrysalis:
+      return chrysalis_kernel_->enqueue_calls();
+  }
+  return 0;
 }
 
 sim::Task<> Fleet::wire(Fleet* f, Scenario sc) {

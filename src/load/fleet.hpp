@@ -71,12 +71,19 @@ class Fleet {
     return forward_links_[s];
   }
 
+  // Physical wire operations so far: frames on the medium for Charlotte
+  // and SODA, dual-queue enqueue dispatches for Chrysalis (which has no
+  // wire).  Sampled by the Runner at the measure window's edges (E16).
+  [[nodiscard]] std::uint64_t wire_ops();
+
  private:
   [[nodiscard]] std::unique_ptr<lynx::Process> make_process(std::string name,
                                                             std::size_t node);
   [[nodiscard]] static sim::Task<> wire(Fleet* f, Scenario sc);
 
   Substrate substrate_;
+  sim::Duration form_delay_ = 0;
+  std::size_t form_max_bytes_ = 1024;
   sim::Engine engine_;
   lynx::SodaDirectory directory_;
   std::unique_ptr<charlotte::Cluster> charlotte_cluster_;

@@ -40,6 +40,12 @@ struct Report {
 
   double sim_end_ms = 0.0;  // simulated clock when the run was cut off
 
+  // Wire economy over the measure window (E16): physical frames sent on
+  // the medium (Chrysalis: dual-queue enqueue dispatches) and the same
+  // normalized per completed request.  Formation drives this down.
+  std::int64_t wire_ops = 0;
+  double frames_per_op = 0.0;
+
   // The capacity searcher's sustainability predicate: the run kept up
   // with its offered rate if nothing was shed or failed, the tail
   // stayed under the bound, and the backlog did not grow beyond

@@ -69,6 +69,8 @@ struct Runner::Impl {
   std::int64_t backlog_start = 0;
   std::int64_t backlog_end = 0;
   std::int64_t backlog_peak = 0;
+  std::uint64_t wire_ops_start = 0;  // Fleet::wire_ops at the window edges
+  std::uint64_t wire_ops_end = 0;
   bool capped = false;
   bool stall_done = false;
   bool ran = false;
@@ -238,9 +240,14 @@ Report Runner::run() {
   st.win.hard_end = st.win.meas_end + st.sc.drain;
   st.win.stall_at = t0 + st.sc.stall_at;
 
-  eng.schedule_at(st.win.meas_start,
-                  [&st] { st.backlog_start = st.in_flight; });
-  eng.schedule_at(st.win.meas_end, [&st] { st.backlog_end = st.in_flight; });
+  eng.schedule_at(st.win.meas_start, [&st] {
+    st.backlog_start = st.in_flight;
+    st.wire_ops_start = st.fleet.wire_ops();
+  });
+  eng.schedule_at(st.win.meas_end, [&st] {
+    st.backlog_end = st.in_flight;
+    st.wire_ops_end = st.fleet.wire_ops();
+  });
 
   for (std::size_t s = 0; s < st.fleet.servers(); ++s) {
     const auto& fwd = st.fleet.forward_links(s);
@@ -315,6 +322,10 @@ Report Runner::run() {
   r.backlog_peak = st.backlog_peak;
   r.backlog_capped = st.capped;
   r.sim_end_ms = sim::to_msec(eng.now());
+  r.wire_ops = static_cast<std::int64_t>(st.wire_ops_end - st.wire_ops_start);
+  r.frames_per_op = st.completed > 0 ? static_cast<double>(r.wire_ops) /
+                                           static_cast<double>(st.completed)
+                                     : 0.0;
   return r;
 }
 

@@ -168,7 +168,41 @@ ChrysalisBackend::ChrysalisBackend(chrysalis::Kernel& kernel,
       pid_(kernel.create_process(node)),
       ready_(std::make_unique<sim::Gate>(kernel.engine())) {}
 
-ChrysalisBackend::~ChrysalisBackend() = default;
+ChrysalisBackend::~ChrysalisBackend() {
+  for (auto& [dq, q] : notice_queues_) q.deadline.cancel();
+}
+
+sim::Task<> ChrysalisBackend::post_notice(chrysalis::DqId dq,
+                                          std::uint32_t datum) {
+  ++notices_;
+  if (params_.form_delay <= 0) {
+    (void)co_await kernel_->enqueue(pid_, dq, datum);
+    co_return;
+  }
+  NoticeQueue& q = notice_queues_[dq];
+  q.pending.push_back(datum);
+  if (q.pending.size() >= params_.form_max_notices) {
+    q.deadline.cancel();
+    co_await flush_notices(dq);
+  } else if (q.pending.size() == 1) {
+    q.deadline = kernel_->engine().schedule_cancellable(
+        params_.form_delay, [this, dq] {
+          kernel_->engine().spawn("chrysalis-form-flush", flush_notices(dq));
+        });
+  }
+}
+
+sim::Task<> ChrysalisBackend::flush_notices(chrysalis::DqId dq) {
+  auto it = notice_queues_.find(dq);
+  if (it == notice_queues_.end() || it->second.pending.empty()) co_return;
+  std::vector<std::uint32_t> batch = std::move(it->second.pending);
+  it->second.pending.clear();
+  if (batch.size() == 1) {
+    (void)co_await kernel_->enqueue(pid_, dq, batch.front());
+  } else {
+    (void)co_await kernel_->enqueue_many(pid_, dq, std::move(batch));
+  }
+}
 
 std::size_t ChrysalisBackend::slot_offset(int slot) const {
   return kOffSlots +
@@ -332,9 +366,8 @@ sim::Task<> ChrysalisBackend::perform_send(BLink link, WireMessage msg,
   (void)co_await kernel_->fetch_or16(pid_, obj, kOffFlags, slot_bit(slot));
   auto dq_name = co_await kernel_->read32(pid_, obj, dq_offset(peer));
   if (dq_name.ok()) {
-    ++notices_;
-    (void)co_await kernel_->enqueue(
-        pid_, chrysalis::DqId(dq_name.value()),
+    co_await post_notice(
+        chrysalis::DqId(dq_name.value()),
         make_notice(obj, kCodeFilledBase + static_cast<std::uint32_t>(slot)));
   }
   // Park until the consumed notice (or destruction) resolves it.
@@ -406,9 +439,8 @@ sim::Task<> ChrysalisBackend::consume_incoming(chrysalis::MemId obj,
   const std::uint8_t sender_side = recv_side ^ 1;
   auto dq_name = co_await kernel_->read32(pid_, obj, dq_offset(sender_side));
   if (dq_name.ok()) {
-    ++notices_;
-    (void)co_await kernel_->enqueue(
-        pid_, chrysalis::DqId(dq_name.value()),
+    co_await post_notice(
+        chrysalis::DqId(dq_name.value()),
         make_notice(obj,
                     kCodeConsumedBase + static_cast<std::uint32_t>(slot)));
   }
@@ -437,17 +469,14 @@ sim::Task<> ChrysalisBackend::consume_incoming(chrysalis::MemId obj,
       for (int s = 0; s < 4; ++s) {
         if (receiver_side_of_slot(s) == eside &&
             (eflags.value() & slot_bit(s))) {
-          ++notices_;
-          (void)co_await kernel_->enqueue(
-              pid_, my_dq_,
+          co_await post_notice(
+              my_dq_,
               make_notice(eobj,
                           kCodeFilledBase + static_cast<std::uint32_t>(s)));
         }
       }
       if (eflags.value() & destroyed_bit(eside ^ 1)) {
-        ++notices_;
-        (void)co_await kernel_->enqueue(pid_, my_dq_,
-                                        make_notice(eobj, kCodeDestroyed));
+        co_await post_notice(my_dq_, make_notice(eobj, kCodeDestroyed));
       }
     }
   }
@@ -550,8 +579,7 @@ void ChrysalisBackend::set_interest(BLink link, bool want_requests,
 }
 
 sim::Task<> ChrysalisBackend::enqueue_self(std::uint32_t datum) {
-  ++notices_;
-  (void)co_await kernel_->enqueue(pid_, my_dq_, datum);
+  co_await post_notice(my_dq_, datum);
 }
 
 void ChrysalisBackend::retract_reply_interest(BLink link) {
@@ -584,9 +612,8 @@ sim::Task<> ChrysalisBackend::perform_destroy_bits(chrysalis::MemId obj,
                                      destroyed_bit(side));
   auto dq_name = co_await kernel_->read32(pid_, obj, dq_offset(side ^ 1));
   if (dq_name.ok()) {
-    ++notices_;
-    (void)co_await kernel_->enqueue(pid_, chrysalis::DqId(dq_name.value()),
-                                    make_notice(obj, kCodeDestroyed));
+    co_await post_notice(chrysalis::DqId(dq_name.value()),
+                         make_notice(obj, kCodeDestroyed));
   }
   kernel_->release_when_unreferenced(obj);
   (void)co_await kernel_->unmap(pid_, obj);
@@ -609,6 +636,14 @@ sim::Task<> ChrysalisBackend::perform_shutdown() {
   for (const auto& [obj, side] : to_destroy) {
     co_await perform_destroy_bits(obj, side);
   }
+  // Drain any notices still held by the formation window — peers must
+  // hear our destroyed hints before we go quiet.
+  std::vector<chrysalis::DqId> held;
+  for (auto& [dq, q] : notice_queues_) {
+    q.deadline.cancel();
+    if (!q.pending.empty()) held.push_back(dq);
+  }
+  for (const chrysalis::DqId dq : held) co_await flush_notices(dq);
   if (comm_ready_) {
     (void)co_await kernel_->enqueue(pid_, my_dq_,
                                     make_notice(chrysalis::MemId(0),

@@ -442,7 +442,11 @@ Group::Group(sim::Engine& engine, load::Substrate substrate, Options opt)
       medium_ =
           std::make_unique<fault::FaultyMedium>(engine, *ring_, opt_.seed);
       invariants_ = std::make_unique<fault::InvariantChecker>(*medium_);
-      cluster_ = std::make_unique<charlotte::Cluster>(engine, total, *medium_);
+      charlotte::Costs ccosts;
+      ccosts.form_delay = opt_.form_delay;
+      ccosts.form_max_bytes = opt_.form_max_bytes;
+      cluster_ = std::make_unique<charlotte::Cluster>(engine, total, *medium_,
+                                                      ccosts);
       // Charlotte's distributed kernel knows the state of every link:
       // a crash becomes an absolute node-down notice at every peer.
       medium_->on_crash(
@@ -459,6 +463,8 @@ Group::Group(sim::Engine& engine, load::Substrate substrate, Options opt)
       // (CrashInterrupt) rather than hang forever (§2, §4.1).
       soda::Costs costs;
       costs.ack_timeout = sim::msec(10);
+      costs.form_delay = opt_.form_delay;
+      costs.form_max_bytes = opt_.form_max_bytes;
       network_ = std::make_unique<soda::Network>(engine, total, *medium_, costs);
       // SODA peers get no crash notice — a call parked at a node that
       // dies would hang forever.  The reboot announcement is the lazy
@@ -580,11 +586,15 @@ std::unique_ptr<lynx::Process> Group::make_process(std::string name,
           *engine_, std::move(name),
           lynx::make_soda_backend(*network_, directory_, nid),
           lynx::pdp11_runtime_costs());
-    case load::Substrate::kChrysalis:
+    case load::Substrate::kChrysalis: {
+      lynx::ChrysalisBackendParams bp;
+      bp.form_delay = opt_.form_delay;
+      bp.form_max_notices = std::max<std::size_t>(2, opt_.form_max_bytes / 16);
       return std::make_unique<lynx::Process>(
           *engine_, std::move(name),
-          lynx::make_chrysalis_backend(*kernel_, nid),
+          lynx::make_chrysalis_backend(*kernel_, nid, bp),
           lynx::mc68000_runtime_costs());
+    }
   }
   return nullptr;
 }

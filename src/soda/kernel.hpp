@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/result.hpp"
+#include "form/packer.hpp"
 #include "net/csma_bus.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
@@ -93,6 +94,7 @@ class Kernel {
   // ---- instrumentation -------------------------------------------------------
   [[nodiscard]] std::uint64_t frames_emitted() const { return frames_out_; }
   [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] const form::Packer& packer() const { return packer_; }
 
  private:
   friend class Network;
@@ -214,6 +216,7 @@ class Kernel {
                                  AcceptAck, RebootNote>;
 
   void on_frame(const net::Frame& frame);
+  void on_batch(const net::Frame& frame);
   void handle(const ReqFrag& f, net::NodeId from);
   void handle(const ReqNack& f, net::NodeId from);
   void handle(const AcceptFrag& f, net::NodeId from);
@@ -251,6 +254,7 @@ class Kernel {
 
   Network* network_;
   net::NodeId node_;
+  form::Packer packer_;
   std::unordered_set<Pid> processes_;
   std::unordered_map<Pid, std::unordered_set<Name>> advertised_;
   std::unordered_map<Pid, bool> handler_open_;

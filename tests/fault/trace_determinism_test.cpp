@@ -112,7 +112,12 @@ RunResult run_universe(std::uint64_t seed,
 // owed-ack timers and piggybacked acks.  The coalescing timer is a new
 // event source, so determinism is pinned with piggybacking both ON
 // (default delay) and OFF (0 = the v1 wire: immediate standalone acks).
-RunResult run_charlotte_universe(std::uint64_t seed, bool coalesce) {
+// `formation` additionally arms RPC formation (src/form/, DESIGN.md
+// §14): the packer's deadline timers and batch dispatch are two more
+// event sources, and a dropped frame now kills a whole Batch — the
+// digests must stay a pure function of the seed regardless.
+RunResult run_charlotte_universe(std::uint64_t seed, bool coalesce,
+                                 bool formation = false) {
   sim::Engine e;
   trace::Recorder rec(e);
   net::TokenRing ring(e);
@@ -125,6 +130,7 @@ RunResult run_charlotte_universe(std::uint64_t seed, bool coalesce) {
   costs.send_retransmit_timeout = sim::msec(40);
   costs.max_send_attempts = 10;
   costs.ack_coalesce_delay = coalesce ? sim::msec(3) : sim::Duration(0);
+  costs.form_delay = formation ? sim::msec(2) : sim::Duration(0);
   charlotte::Cluster cluster(e, 2, fm, costs);
 
   charlotte::Pid pa = cluster.create_process(NodeId(0));
@@ -168,7 +174,9 @@ RunResult run_charlotte_universe(std::uint64_t seed, bool coalesce) {
 // with a Recorder watching the whole multi-client run.  Traced load is
 // the regime where nondeterminism would hide (hundreds of interleaved
 // RPCs), so the sweep pins its digest alongside the chaos universes'.
-RunResult run_load_universe(std::uint64_t seed) {
+// With `formation` on, co-destined RPCs share wire frames — the clean
+// (lossless) counterpart of the lossy Charlotte formation universe.
+RunResult run_load_universe(std::uint64_t seed, bool formation = false) {
   load::Scenario sc;
   sc.clients = 2;
   sc.arrival = load::Arrival::kOpenPoisson;
@@ -178,6 +186,7 @@ RunResult run_load_universe(std::uint64_t seed) {
   sc.measure = sim::msec(250);
   sc.drain = sim::msec(150);
   sc.seed = seed;
+  if (formation) sc.form_delay = sim::msec(2);
   load::Runner runner(load::Substrate::kSoda, sc);
   trace::Recorder rec(runner.engine());
   const load::Report r = runner.run();
@@ -231,12 +240,39 @@ TEST(TraceDeterminism, SweepSeedsReproduceDigests) {
         << "charlotte v1-wire seed " << seed;
     ASSERT_EQ(cv1a.emitted, cv1b.emitted) << "charlotte v1-wire seed " << seed;
 
+    // Lossy Charlotte with RPC formation armed (DESIGN.md §14): batch
+    // deadline timers, shared-frame dispatch, and whole-batch drops all
+    // ride the same seeded randomness, so the digests must still be
+    // bit-identical run over run — and the stream must actually differ
+    // from the frame-per-message wire (formation changes what the
+    // recorder sees, not just internal counters).
+    const RunResult cfa =
+        run_charlotte_universe(seed, /*coalesce=*/true, /*formation=*/true);
+    const RunResult cfb =
+        run_charlotte_universe(seed, /*coalesce=*/true, /*formation=*/true);
+    ASSERT_EQ(cfa.trace_digest, cfb.trace_digest)
+        << "charlotte formation seed " << seed;
+    ASSERT_EQ(cfa.fault_digest, cfb.fault_digest)
+        << "charlotte formation seed " << seed;
+    ASSERT_EQ(cfa.emitted, cfb.emitted) << "charlotte formation seed " << seed;
+    EXPECT_NE(cfa.trace_digest, ca.trace_digest)
+        << "formation left no mark on the stream, seed " << seed;
+
     const RunResult la = run_load_universe(seed);
     const RunResult lb = run_load_universe(seed);
     ASSERT_EQ(la.trace_digest, lb.trace_digest) << "load seed " << seed;
     ASSERT_EQ(la.emitted, lb.emitted) << "load seed " << seed;
     ASSERT_GT(la.emitted, 0u) << "load seed " << seed;
     distinct_load.insert(la.trace_digest);
+
+    // The clean loaded universe with formation on: open-loop SODA RPCs
+    // sharing frames, double-run to the same digest.
+    const RunResult lfa = run_load_universe(seed, /*formation=*/true);
+    const RunResult lfb = run_load_universe(seed, /*formation=*/true);
+    ASSERT_EQ(lfa.trace_digest, lfb.trace_digest)
+        << "load formation seed " << seed;
+    ASSERT_EQ(lfa.emitted, lfb.emitted) << "load formation seed " << seed;
+    ASSERT_GT(lfa.emitted, 0u) << "load formation seed " << seed;
   }
   // Chaos differs per seed, so the streams (almost) all differ too.
   EXPECT_GT(distinct.size(), 90u);

@@ -1,0 +1,83 @@
+// Formation frame-economy regression (ISSUE 7 acceptance): at pipeline
+// depth 8 — one closed-loop client pipelining across eight channels into
+// one server — turning formation on must at least HALVE the wire frames
+// per delivered request on every substrate.
+//
+// The 2.0 floor is structural: each RPC contributes exactly two
+// same-direction wire ops per direction (e.g. SODA's accept + reply
+// legs, Chrysalis's consume-ack + reply notices), so pairwise batching
+// of a depth-8 wave collapses them 2:1; Charlotte's token ring batches
+// across operations too (the ring rotation is the bottleneck, so whole
+// waves re-form behind it) and clears the bar with margin.  The
+// formation windows match bench_capacity's E16 operating points: about
+// one token rotation for Charlotte, under the 12 ms transport RTO for
+// SODA, about one pump service pass for Chrysalis.
+//
+// Everything here is deterministic (fixed seeds, discrete sim), so the
+// ratios are exact reproducible values, not noisy estimates.
+#include <gtest/gtest.h>
+
+#include "load/runner.hpp"
+#include "load/scenario.hpp"
+
+namespace load {
+namespace {
+
+Scenario depth8_scenario(sim::Duration form_delay) {
+  Scenario sc;
+  sc.name = form_delay > 0 ? "depth8+form" : "depth8";
+  sc.topology = Topology::kFanIn;
+  sc.clients = 1;  // consecutive ops co-destined: one client, one server
+  sc.servers = 1;
+  sc.channels_per_client = 8;  // pipeline depth 8
+  sc.arrival = Arrival::kClosed;
+  sc.think = 0;
+  sc.warmup = sim::msec(250);
+  sc.measure = sim::sec(1);
+  sc.drain = sim::msec(500);
+  sc.form_delay = form_delay;
+  return sc;
+}
+
+sim::Duration window_for(Substrate sub) {
+  switch (sub) {
+    case Substrate::kCharlotte: return sim::msec(20);
+    case Substrate::kSoda: return sim::msec(5);
+    case Substrate::kChrysalis: return sim::msec(10);
+  }
+  return sim::msec(2);
+}
+
+void expect_halved(Substrate sub) {
+  const Report off = run_scenario(sub, depth8_scenario(0));
+  const Report on = run_scenario(sub, depth8_scenario(window_for(sub)));
+
+  ASSERT_GT(off.completed, 0) << off.backend << " baseline delivered nothing";
+  ASSERT_GT(on.completed, 0) << on.backend << " formation delivered nothing";
+  EXPECT_EQ(off.errors, 0);
+  EXPECT_EQ(on.errors, 0);
+  ASSERT_GT(on.frames_per_op, 0.0);
+
+  const double ratio = off.frames_per_op / on.frames_per_op;
+  // >= 2x fewer frames per delivered message.  The epsilon only covers
+  // float division of the exact integer counts landing the SODA and
+  // Chrysalis points precisely ON the structural 2.0 floor.
+  EXPECT_GE(ratio, 2.0 - 1e-9)
+      << off.backend << ": " << off.frames_per_op << " frames/op off vs "
+      << on.frames_per_op << " on (ratio " << ratio << ")";
+}
+
+TEST(FormationRatio, CharlotteHalvesFramesPerOpAtDepth8) {
+  expect_halved(Substrate::kCharlotte);
+}
+
+TEST(FormationRatio, SodaHalvesFramesPerOpAtDepth8) {
+  expect_halved(Substrate::kSoda);
+}
+
+TEST(FormationRatio, ChrysalisHalvesFramesPerOpAtDepth8) {
+  expect_halved(Substrate::kChrysalis);
+}
+
+}  // namespace
+}  // namespace load
