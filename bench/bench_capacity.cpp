@@ -11,17 +11,21 @@
 //
 // Flags (bench::init): --json-out, --trace-out, --seed, plus --smoke
 // for the CI-sized version (short windows, 3 rates) and
-// --baseline=PATH to compare the measured Charlotte peak against a
-// checked-in baseline (bench/baselines/): exits nonzero on a >10%
-// regression, so CI catches an ack-protocol slowdown at the PR.
+// --baseline=PATH / --baseline-soda=PATH / --baseline-chrysalis=PATH
+// to compare each kernel's measured peak against a checked-in baseline
+// (bench/baselines/): exits nonzero on a >10% regression, so CI
+// catches an ack-protocol slowdown — on any substrate — at the PR.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "charlotte/types.hpp"
 #include "harness.hpp"
 #include "load/load.hpp"
+#include "lynx/chrysalis_backend.hpp"
+#include "soda/types.hpp"
 
 namespace {
 
@@ -128,13 +132,62 @@ void curves_report(bool smoke, sweep::ThreadPool& pool) {
 
 // ---- saturation search -----------------------------------------------------
 
-// Returns the measured Charlotte peak delivered/s for the baseline gate.
-double capacity_report(bool smoke) {
+// The protocol knobs each substrate ran with, recorded alongside every
+// peak so a baseline JSON is self-describing: a reviewer diffing a
+// refreshed baseline sees *which* knob moved with the number.  Values
+// mirror what load::Fleet configures — default kernel cost structs plus
+// the scenario's formation window.
+void emit_capacity_knobs(load::Substrate sub, const load::Scenario& sc) {
+  auto j = json();
+  j.field("kind", "capacity_knobs").field("backend", to_string(sub));
+  j.field("form_delay_ms", sim::to_msec(sc.form_delay));
+  switch (sub) {
+    case load::Substrate::kCharlotte: {
+      const charlotte::Costs c;
+      j.field("send_retransmit_timeout_ms",
+              sim::to_msec(c.send_retransmit_timeout))
+          .field("ack_coalesce_delay_ms", sim::to_msec(c.ack_coalesce_delay))
+          .field("adaptive_rto", c.adaptive_rto ? 1.0 : 0.0)
+          .field("rto_min_ms", sim::to_msec(c.rto_min))
+          .field("rto_max_ms", sim::to_msec(c.rto_max));
+      break;
+    }
+    case load::Substrate::kSoda: {
+      const soda::Costs c;
+      j.field("ack_timeout_ms", sim::to_msec(c.ack_timeout))
+          .field("cumulative_acks", c.cumulative_acks ? 1.0 : 0.0)
+          .field("ack_coalesce_delay_ms", sim::to_msec(c.ack_coalesce_delay))
+          .field("adaptive_rto", c.adaptive_rto ? 1.0 : 0.0)
+          .field("rto_min_ms", sim::to_msec(c.rto_min))
+          .field("rto_max_ms", sim::to_msec(c.rto_max));
+      break;
+    }
+    case load::Substrate::kChrysalis: {
+      const lynx::ChrysalisBackendParams p;
+      j.field("batched_drain", p.batched_drain ? 1.0 : 0.0)
+          .field("drain_max_notices", static_cast<double>(p.drain_max_notices))
+          .field("consumed_coalesce_delay_ms",
+                 sim::to_msec(p.consumed_coalesce_delay));
+      break;
+    }
+  }
+  j.emit();
+}
+
+// Measured peak delivered/s per substrate, for the baseline gates.
+struct CapacityPeaks {
+  double throughput[3] = {0, 0, 0};
+  [[nodiscard]] double of(load::Substrate sub) const {
+    return throughput[static_cast<int>(sub)];
+  }
+};
+
+CapacityPeaks capacity_report(bool smoke) {
   table_header("E12: peak sustainable throughput (load::find_capacity)");
   std::printf("%-10s %12s %12s %14s\n", "backend", "peak rate", "delivered/s",
               "p99 bound ms");
   double peaks[3] = {0, 0, 0};
-  double charlotte_tput = 0;
+  CapacityPeaks out;
   for (load::Substrate sub : load::all_substrates()) {
     load::CapacityParams p;
     p.rate_lo = smoke ? 8.0 : 4.0;
@@ -142,9 +195,7 @@ double capacity_report(bool smoke) {
     const load::CapacityResult cap =
         load::find_capacity(sub, base_scenario(smoke), p);
     peaks[static_cast<int>(sub)] = cap.peak_rate;
-    if (sub == load::Substrate::kCharlotte) {
-      charlotte_tput = cap.peak_throughput;
-    }
+    out.throughput[static_cast<int>(sub)] = cap.peak_throughput;
     std::printf("%-10s %12.1f %12.1f %14.2f\n", to_string(sub), cap.peak_rate,
                 cap.peak_throughput, cap.p99_bound_ms);
     json()
@@ -154,6 +205,7 @@ double capacity_report(bool smoke) {
         .field("peak_throughput", cap.peak_throughput)
         .field("p99_bound_ms", cap.p99_bound_ms)
         .emit();
+    emit_capacity_knobs(sub, base_scenario(smoke));
     for (const auto& pt : cap.curve) emit_point("probe", pt.report, pt.rate);
   }
   if (!g_formation) {
@@ -167,7 +219,7 @@ double capacity_report(bool smoke) {
     print_note("every peak is finite, and SODA sustains more than Charlotte —");
     print_note("the paper's latency ordering carries over to capacity.");
   }
-  return charlotte_tput;
+  return out;
 }
 
 // ---- E16: formation ablation at pipeline depth 8 ---------------------------
@@ -284,26 +336,37 @@ std::string json_string_field(const std::string& text, const std::string& key) {
   return text.substr(p + 1, end - p - 1);
 }
 
-// Compares the measured Charlotte peak against the checked-in baseline.
-// Returns false (CI failure) on a >10% throughput regression.  Better
-// peaks pass with a note: refreshing the baseline file is a deliberate,
-// reviewed act, not something a lucky run does implicitly.  Pass or
-// fail, the verdict line names the scenario, the metric, and the signed
-// delta, so a red CI log says *what* regressed without opening JSON.
-bool baseline_gate(const std::string& path, double measured) {
+// Compares one substrate's measured peak against its checked-in
+// baseline.  Returns false (CI failure) on a >10% throughput
+// regression.  Better peaks pass with a note: refreshing the baseline
+// file is a deliberate, reviewed act, not something a lucky run does
+// implicitly.  Pass or fail, the verdict line names the backend, the
+// scenario, the metric, and the signed delta, so a red CI log says
+// *what* regressed without opening JSON.  The file's own "backend"
+// field must name the substrate being gated — handing the SODA
+// baseline to the Charlotte gate is a config bug, not a pass.
+bool baseline_gate(const std::string& path, const char* backend,
+                   double measured) {
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "baseline gate: cannot read %s\n", path.c_str());
+    std::fprintf(stderr, "baseline gate (%s): cannot read %s\n", backend,
+                 path.c_str());
     return false;
   }
   std::stringstream buf;
   buf << in.rdbuf();
   const std::string text = buf.str();
+  const std::string file_backend = json_string_field(text, "backend");
+  if (file_backend != backend) {
+    std::fprintf(stderr,
+                 "baseline gate (%s): %s is a baseline for backend \"%s\"\n",
+                 backend, path.c_str(), file_backend.c_str());
+    return false;
+  }
   const double expected = json_number_field(text, "peak_throughput");
   if (!(expected > 0)) {
-    std::fprintf(stderr,
-                 "baseline gate: no peak_throughput metric in %s\n",
-                 path.c_str());
+    std::fprintf(stderr, "baseline gate (%s): no peak_throughput metric in %s\n",
+                 backend, path.c_str());
     return false;
   }
   std::string scenario = json_string_field(text, "scenario");
@@ -313,14 +376,14 @@ bool baseline_gate(const std::string& path, double measured) {
   const double delta_pct = (measured - expected) / expected * 100.0;
   const bool ok = measured >= floor;
   std::printf(
-      "baseline gate %s: scenario %s, metric peak_throughput (charlotte): "
+      "baseline gate %s: scenario %s, metric peak_throughput (%s): "
       "measured %.2f/s vs baseline %.2f/s, delta %+.1f%% "
       "(tolerance -%.0f%%, floor %.2f/s)\n",
-      ok ? "ok" : "REGRESSION", scenario.c_str(), measured, expected,
+      ok ? "ok" : "REGRESSION", scenario.c_str(), backend, measured, expected,
       delta_pct, kTolerance * 100.0, floor);
   json()
       .field("kind", "baseline_check")
-      .field("backend", "charlotte")
+      .field("backend", backend)
       .field("scenario", scenario)
       .field("metric", "peak_throughput")
       .field("measured_peak_throughput", measured)
@@ -414,7 +477,11 @@ BENCHMARK(BM_ChrysalisLoadProbe)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   bool smoke = false;
-  std::string baseline;
+  // One optional baseline path per substrate: --baseline= stays the
+  // Charlotte spelling CI has used all along; the SODA and Chrysalis
+  // wires got their own gates when the ack-v2 playbook was ported to
+  // them.  Indexed by load::Substrate.
+  std::string baselines[3];
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -423,7 +490,18 @@ int main(int argc, char** argv) {
       continue;
     }
     if (arg.rfind("--baseline=", 0) == 0) {
-      baseline = arg.substr(std::string("--baseline=").size());
+      baselines[static_cast<int>(load::Substrate::kCharlotte)] =
+          arg.substr(std::string("--baseline=").size());
+      continue;
+    }
+    if (arg.rfind("--baseline-soda=", 0) == 0) {
+      baselines[static_cast<int>(load::Substrate::kSoda)] =
+          arg.substr(std::string("--baseline-soda=").size());
+      continue;
+    }
+    if (arg.rfind("--baseline-chrysalis=", 0) == 0) {
+      baselines[static_cast<int>(load::Substrate::kChrysalis)] =
+          arg.substr(std::string("--baseline-chrysalis=").size());
       continue;
     }
     if (arg == "--formation=on" || arg == "--formation=off") {
@@ -437,21 +515,29 @@ int main(int argc, char** argv) {
 
   sweep::ThreadPool pool;
   curves_report(smoke, pool);
-  const double charlotte_peak = capacity_report(smoke);
+  const CapacityPeaks peaks = capacity_report(smoke);
   payload_report(smoke, pool);
   formation_report(smoke, pool);
   traced_run(smoke);
 
   bool gate_ok = true;
-  if (!baseline.empty() && g_formation) {
-    // The checked-in baseline measures the frame-per-message wire; a
+  const bool any_baseline = !baselines[0].empty() || !baselines[1].empty() ||
+                            !baselines[2].empty();
+  if (any_baseline && g_formation) {
+    // The checked-in baselines measure the frame-per-message wire; a
     // formation-on peak is a different quantity and must not be gated
     // (or silently refreshed) against it.
     print_note("baseline gate skipped: --formation=on changes the measured");
     print_note("quantity; the gate only runs on formation-off invocations.");
-    baseline.clear();
+    for (auto& b : baselines) b.clear();
   }
-  if (!baseline.empty()) gate_ok = baseline_gate(baseline, charlotte_peak);
+  for (load::Substrate sub : load::all_substrates()) {
+    const std::string& path = baselines[static_cast<int>(sub)];
+    if (path.empty()) continue;
+    // Every configured gate runs and reports — a SODA regression is
+    // named even when Charlotte also regressed.
+    gate_ok = baseline_gate(path, to_string(sub), peaks.of(sub)) && gate_ok;
+  }
 
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

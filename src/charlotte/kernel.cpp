@@ -351,23 +351,11 @@ void Kernel::attach_piggyback(EndState& end, wire::Msg& m, net::NodeId dst) {
 
 sim::Duration Kernel::initial_rto(const EndState& end) const {
   const Costs& costs = cluster_->costs();
-  if (!costs.adaptive_rto || !end.have_rtt) {
+  if (!costs.adaptive_rto) {
     return costs.send_retransmit_timeout;
   }
-  const sim::Duration rto = end.srtt + 4 * end.rttvar;
-  return std::clamp(rto, costs.rto_min, costs.rto_max);
-}
-
-void Kernel::observe_rtt(EndState& end, sim::Duration sample) {
-  if (!end.have_rtt) {
-    end.srtt = sample;
-    end.rttvar = sample / 2;
-    end.have_rtt = true;
-    return;
-  }
-  const sim::Duration err = sample - end.srtt;
-  end.rttvar += ((err < 0 ? -err : err) - end.rttvar) / 4;
-  end.srtt += err / 8;
+  return end.rtt.rto(costs.send_retransmit_timeout, costs.rto_min,
+                     costs.rto_max);
 }
 
 void Kernel::arm_send_timer(EndState& end) {
@@ -749,7 +737,7 @@ void Kernel::apply_ack(EndId to_end, std::uint64_t seq, std::size_t len,
       end->send->first_sent_at > 0) {
     // Karn's rule: only unretransmitted exchanges produce samples (a
     // retransmitted one can't tell which copy this ack answers).
-    observe_rtt(*end, cluster_->engine().now() - end->send->first_sent_at);
+    end->rtt.observe(cluster_->engine().now() - end->send->first_sent_at);
   }
   const EndId enclosure = end->send->enclosure;
   clear_send(*end);

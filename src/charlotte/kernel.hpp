@@ -29,6 +29,7 @@
 #include "charlotte/types.hpp"
 #include "charlotte/wire.hpp"
 #include "common/result.hpp"
+#include "common/rtt_estimator.hpp"
 #include "form/packer.hpp"
 #include "net/packet.hpp"
 #include "net/token_ring.hpp"
@@ -162,10 +163,9 @@ class Kernel {
     std::size_t last_delivered_len = 0;
     std::optional<OwedAck> owed_ack;
     sim::TimerHandle ack_timer;  // standalone-ack fallback (coalescing)
-    // Jacobson/Karels RTT estimate for the path to peer_node.
-    bool have_rtt = false;
-    sim::Duration srtt = 0;
-    sim::Duration rttvar = 0;
+    // Jacobson/Karels RTT estimate for the path to peer_node (shared
+    // estimator, common/rtt_estimator.hpp).
+    common::RttEstimator rtt;
   };
   struct HomeEndInfo {
     EndId end;
@@ -221,8 +221,6 @@ class Kernel {
   void attach_piggyback(EndState& end, wire::Msg& m, net::NodeId dst);
   // Initial retransmission timeout for a fresh send on `end`.
   [[nodiscard]] sim::Duration initial_rto(const EndState& end) const;
-  // Feed a clean (unretransmitted) ack round trip into the estimator.
-  void observe_rtt(EndState& end, sim::Duration sample);
   [[nodiscard]] EndState* find_end(EndId id);
   [[nodiscard]] Status validate_owned(Pid caller, EndId id, EndState** out);
 

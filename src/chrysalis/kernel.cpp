@@ -351,6 +351,21 @@ sim::Task<Result<DqId>> Kernel::make_dual_queue(Pid caller,
 }
 
 Status Kernel::deliver_to_queue(DualQueue& q, std::uint32_t datum) {
+  if (q.fast_armed) {
+    // The cheap flag was armed first (waiters were empty then), so its
+    // consumer is served first; FIFO over consumers is preserved.
+    const EventId target = q.fast_event;
+    q.fast_armed = false;
+    auto ev = events_.find(target);
+    if (ev != events_.end()) {
+      if (ev->second.waiter != nullptr && !ev->second.waiter->fulfilled()) {
+        ev->second.waiter->fulfill(datum);
+      } else {
+        ev->second.pending.push_back(datum);
+      }
+    }
+    return Status::kOk;
+  }
   if (!q.waiters.empty()) {
     // "An enqueue operation on a queue containing event block names
     // actually posts a queued event instead of adding its datum."
@@ -368,6 +383,7 @@ Status Kernel::deliver_to_queue(DualQueue& q, std::uint32_t datum) {
   }
   if (q.data.size() >= q.capacity) return Status::kQueueFull;
   q.data.push_back(datum);
+  ++queue_allocs_;
   return Status::kOk;
 }
 
@@ -382,6 +398,27 @@ sim::Task<Status> Kernel::enqueue(Pid caller, DqId id, std::uint32_t datum) {
   DualQueue& q = it->second;
   const bool remote = is_remote(caller, q.home);
   if (remote) ++remote_;
+  if (q.fast_armed && q.data.empty() && q.waiters.empty()) {
+    // Cheap-flag fast path: claim the armed slot at the call instant
+    // (an atomic16 — nothing else can take it across the suspension)
+    // and post the consumer's event directly.  No deque is touched.
+    const EventId target = q.fast_event;
+    q.fast_armed = false;
+    ++fast_deliveries_;
+    co_await engine_->sleep(costs_.primitive_call + costs_.atomic16 +
+                            costs_.event_post +
+                            (remote ? fabric_.word_reference(true) : 0));
+    auto ev = events_.find(target);
+    if (ev != events_.end()) {
+      Event& e = ev->second;
+      if (e.waiter != nullptr && !e.waiter->fulfilled()) {
+        e.waiter->fulfill(datum);
+      } else {
+        e.pending.push_back(datum);
+      }
+    }
+    co_return Status::kOk;
+  }
   co_await engine_->sleep(costs_.primitive_call + costs_.dq_enqueue +
                           (remote ? fabric_.word_reference(true) : 0));
   // queue object may have been reclaimed across the suspension
@@ -444,8 +481,56 @@ sim::Task<Result<Kernel::DequeueOutcome>> Kernel::dequeue(Pid caller, DqId id,
   }
   // "Once a queue becomes empty, subsequent dequeue operations actually
   // enqueue event block names, on which the calling processes can wait."
-  q2.waiters.push_back(my_event);
+  // An uncontended consumer arms the cheap flag instead of pushing its
+  // event name; a second concurrent consumer falls back to the deque.
+  if (!q2.fast_armed && q2.waiters.empty()) {
+    q2.fast_event = my_event;
+    q2.fast_armed = true;
+  } else {
+    q2.waiters.push_back(my_event);
+    ++queue_allocs_;
+  }
   DequeueOutcome out;
+  out.would_block = true;
+  co_return out;
+}
+
+sim::Task<Result<Kernel::DequeueManyOutcome>> Kernel::dequeue_many(
+    Pid caller, DqId id, EventId my_event, std::size_t max) {
+  ++ops_;
+  auto it = queues_.find(id);
+  if (it == queues_.end()) {
+    co_await engine_->sleep(costs_.primitive_call);
+    co_return common::Err(Status::kNoSuchObject);
+  }
+  DualQueue& q = it->second;
+  const bool remote = is_remote(caller, q.home);
+  if (remote) ++remote_;
+  co_await engine_->sleep(costs_.primitive_call + costs_.dq_dequeue +
+                          (remote ? fabric_.word_reference(true) : 0));
+  auto it2 = queues_.find(id);
+  if (it2 == queues_.end()) co_return common::Err(Status::kNoSuchObject);
+  DualQueue& q2 = it2->second;
+  DequeueManyOutcome out;
+  while (!q2.data.empty() && out.data.size() < max) {
+    out.data.push_back(q2.data.front());
+    q2.data.pop_front();
+  }
+  if (!out.data.empty()) {
+    if (out.data.size() > 1) {
+      co_await engine_->sleep(
+          costs_.dq_dequeue_extra *
+          static_cast<sim::Duration>(out.data.size() - 1));
+    }
+    co_return out;
+  }
+  if (!q2.fast_armed && q2.waiters.empty()) {
+    q2.fast_event = my_event;
+    q2.fast_armed = true;
+  } else {
+    q2.waiters.push_back(my_event);
+    ++queue_allocs_;
+  }
   out.would_block = true;
   co_return out;
 }

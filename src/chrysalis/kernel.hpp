@@ -113,6 +113,17 @@ class Kernel {
   };
   [[nodiscard]] sim::Task<Result<DequeueOutcome>> dequeue(Pid caller, DqId q,
                                                           EventId my_event);
+  // Batched dequeue — one microcode dispatch pops every ready datum (up
+  // to `max`), charging Costs::dq_dequeue_extra for each after the
+  // first.  An empty queue behaves exactly like dequeue: `my_event`'s
+  // name is left behind (or the cheap flag armed) and would_block is
+  // reported.
+  struct DequeueManyOutcome {
+    bool would_block = false;
+    std::vector<std::uint32_t> data;
+  };
+  [[nodiscard]] sim::Task<Result<DequeueManyOutcome>> dequeue_many(
+      Pid caller, DqId q, EventId my_event, std::size_t max);
   // Convenience composite: dequeue, waiting on `my_event` if needed (the
   // paper: "The most common use of event blocks is in conjunction with
   // dual queues").
@@ -126,6 +137,14 @@ class Kernel {
   // once, however many data the latter carries) — Chrysalis has no wire
   // frames, so this is its frames-per-message analogue for E16.
   [[nodiscard]] std::uint64_t enqueue_calls() const { return enqueue_calls_; }
+  // Pushes into a dual queue's data/waiter deques — the bookkeeping the
+  // cheap-flag fast path exists to avoid.
+  [[nodiscard]] std::uint64_t queue_allocs() const { return queue_allocs_; }
+  // Deliveries that took the cheap-flag fast path: an armed 16-bit flag
+  // turned the enqueue into a bare event post, no deque touched.
+  [[nodiscard]] std::uint64_t fast_deliveries() const {
+    return fast_deliveries_;
+  }
 
  private:
   struct Object {
@@ -148,6 +167,12 @@ class Kernel {
     // either data or event names, never both
     std::deque<std::uint32_t> data;
     std::deque<EventId> waiters;
+    // Cheap-flag fast path: a lone consumer's empty dequeue arms this
+    // 16-bit-flag-sized slot instead of pushing onto `waiters`; the next
+    // enqueue finding it armed posts the event directly — an atomic16
+    // claim plus an event_post, no queue machinery.
+    EventId fast_event;
+    bool fast_armed = false;
   };
 
   [[nodiscard]] Object* find_object(MemId id);
@@ -177,6 +202,8 @@ class Kernel {
   std::uint64_t ops_ = 0;
   std::uint64_t remote_ = 0;
   std::uint64_t enqueue_calls_ = 0;
+  std::uint64_t queue_allocs_ = 0;
+  std::uint64_t fast_deliveries_ = 0;
 };
 
 }  // namespace chrysalis

@@ -78,6 +78,10 @@ struct Costs {
   // little more than the word writes themselves.
   sim::Duration dq_enqueue_extra = sim::usec(8);
   sim::Duration dq_dequeue = sim::usec(70);
+  // Marginal cost of each datum after the first in a batched
+  // dequeue_many (the drain-side mirror of dq_enqueue_extra): one
+  // dispatch services every ready notice.
+  sim::Duration dq_dequeue_extra = sim::usec(8);
   sim::Duration make_object = sim::usec(600);
   sim::Duration map_object = sim::usec(450);
   sim::Duration unmap_object = sim::usec(250);

@@ -1,6 +1,7 @@
 #include "lynx/chrysalis_backend.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "trace/trace.hpp"
 
@@ -170,6 +171,7 @@ ChrysalisBackend::ChrysalisBackend(chrysalis::Kernel& kernel,
 
 ChrysalisBackend::~ChrysalisBackend() {
   for (auto& [dq, q] : notice_queues_) q.deadline.cancel();
+  for (auto& [token, rec] : links_) rec.consumed_timer.cancel();
 }
 
 sim::Task<> ChrysalisBackend::post_notice(chrysalis::DqId dq,
@@ -234,29 +236,55 @@ sim::Task<> ChrysalisBackend::pump() {
     ready_->open();
   }
   for (;;) {
-    auto datum = co_await kernel_->dequeue_wait(pid_, my_dq_, my_event_);
-    if (!datum.ok()) break;
-    const std::uint32_t code = datum.value() & 15u;
-    const chrysalis::MemId obj(datum.value() >> 4);
-    if (code == kCodePoison) break;
-    ++notices_taken_;
-    switch (code) {
-      case kCodeRecheck:
-        co_await recheck_link(obj);
-        break;
-      case kCodeDestroyed: {
-        co_await handle_destroyed_notice(obj);
+    // Batched drain (ack protocol v2, DESIGN.md §12): one dequeue_many
+    // dispatch services every ready notice; an empty queue falls back to
+    // a bare event wait (the dequeue left our event name — or the cheap
+    // flag — behind).
+    std::vector<std::uint32_t> batch;
+    if (params_.batched_drain) {
+      auto got = co_await kernel_->dequeue_many(pid_, my_dq_, my_event_,
+                                                params_.drain_max_notices);
+      if (!got.ok()) break;
+      if (got.value().would_block) {
+        auto datum = co_await kernel_->wait_event(pid_, my_event_);
+        if (!datum.ok()) break;
+        batch.push_back(datum.value());
+      } else {
+        batch = std::move(got.value().data);
+      }
+    } else {
+      auto datum = co_await kernel_->dequeue_wait(pid_, my_dq_, my_event_);
+      if (!datum.ok()) break;
+      batch.push_back(datum.value());
+    }
+    bool poisoned = false;
+    for (const std::uint32_t raw : batch) {
+      const std::uint32_t code = raw & 15u;
+      const chrysalis::MemId obj(raw >> 4);
+      if (code == kCodePoison) {
+        poisoned = true;
         break;
       }
-      default: {
-        if (code >= kCodeConsumedBase && code < kCodeConsumedBase + 4) {
-          handle_consumed(obj, static_cast<int>(code - kCodeConsumedBase));
-        } else if (code < 4) {
-          co_await maybe_consume(obj, static_cast<int>(code));
+      ++notices_taken_;
+      switch (code) {
+        case kCodeRecheck:
+          co_await recheck_link(obj);
+          break;
+        case kCodeDestroyed: {
+          co_await handle_destroyed_notice(obj);
+          break;
         }
-        break;
+        default: {
+          if (code >= kCodeConsumedBase && code < kCodeConsumedBase + 4) {
+            handle_consumed(obj, static_cast<int>(code - kCodeConsumedBase));
+          } else if (code < 4) {
+            co_await maybe_consume(obj, static_cast<int>(code));
+          }
+          break;
+        }
       }
     }
+    if (poisoned) break;
   }
 }
 
@@ -297,8 +325,8 @@ sim::Task<std::pair<BLink, BLink>> ChrysalisBackend::make_link() {
                                   static_cast<std::uint32_t>(my_dq_.value()));
   const BLink a = blink_ids_.next();
   const BLink b = blink_ids_.next();
-  links_.emplace(a, LinkRec{a, obj.value(), 0, false, false, false, {}, {}});
-  links_.emplace(b, LinkRec{b, obj.value(), 1, false, false, false, {}, {}});
+  links_.emplace(a, make_rec(a, obj.value(), 0));
+  links_.emplace(b, make_rec(b, obj.value(), 1));
   index_link(links_.at(a));
   index_link(links_.at(b));
   co_return std::pair(a, b);
@@ -325,6 +353,19 @@ sim::Task<> ChrysalisBackend::perform_send(BLink link, WireMessage msg,
   const std::uint8_t side = rec->side;
   const std::uint8_t peer = side ^ 1;
   const int slot = out_slot(side, msg.kind);
+
+  // The ack rides the reply (DESIGN.md §12): our reply's FILLED notice
+  // proves the request was consumed, so a still-deferred CONSUMED
+  // notice for it is redundant — drop it before it fires.
+  if (msg.kind == MsgKind::kReply && rec->consumed_owed) {
+    rec->consumed_timer.cancel();
+    rec->consumed_owed = false;
+    if (auto* trec = trace::get(kernel_->engine())) {
+      trec->instant(node_.value(), "backend", "notice.piggyback",
+                    rec->consumed_trace,
+                    static_cast<std::uint64_t>(rec->consumed_slot), 0);
+    }
+  }
 
   // Capability (4): an aborted caller set the "reply unwanted" bit; the
   // replier feels the language-defined exception instead of sending.
@@ -353,9 +394,14 @@ sim::Task<> ChrysalisBackend::perform_send(BLink link, WireMessage msg,
   Bytes buf = encode_buffer(msg.body, encs, msg.trace_id);
   RELYNX_ASSERT_MSG(buf.size() + 4 <= 4 + params_.max_message_bytes,
                     "message exceeds link buffer");
-  (void)co_await kernel_->block_write(pid_, obj, slot_offset(slot) + 4, buf);
-  (void)co_await kernel_->write32(pid_, obj, slot_offset(slot),
-                                  static_cast<std::uint32_t>(buf.size()));
+  // One block transfer covers the length word and the payload — the
+  // flag bit (set below) is what publishes the slot, so the combined
+  // write needs no internal ordering.
+  Bytes framed(4 + buf.size());
+  const auto frame_len = static_cast<std::uint32_t>(buf.size());
+  std::memcpy(framed.data(), &frame_len, 4);
+  std::copy(buf.begin(), buf.end(), framed.begin() + 4);
+  (void)co_await kernel_->block_write(pid_, obj, slot_offset(slot), framed);
   if (auto* rec2 = trace::get(kernel_->engine())) {
     rec2->instant(node_.value(), "backend", "slot.fill", msg.trace_id,
                   static_cast<std::uint64_t>(slot), buf.size());
@@ -369,6 +415,15 @@ sim::Task<> ChrysalisBackend::perform_send(BLink link, WireMessage msg,
     co_await post_notice(
         chrysalis::DqId(dq_name.value()),
         make_notice(obj, kCodeFilledBase + static_cast<std::uint32_t>(slot)));
+  }
+  // Enclosure-free replies resolve early (ack protocol v2, DESIGN.md
+  // §12): the flag bit is absolute truth and the buffer lives in the
+  // link object, which shared memory keeps intact until the consumer
+  // reads it regardless of what this process does next — waiting for
+  // the consumed hint teaches us nothing the flag write didn't.
+  if (msg.kind == MsgKind::kReply && msg.enclosures.empty()) {
+    ps->settle(SendOutcome{SendResult::kDelivered, {}});
+    co_return;
   }
   // Park until the consumed notice (or destruction) resolves it.
   rec = find(link);
@@ -404,6 +459,22 @@ void ChrysalisBackend::handle_consumed(chrysalis::MemId obj, int slot) {
   ps->settle(SendOutcome{SendResult::kDelivered, {}});
 }
 
+sim::Task<> ChrysalisBackend::post_deferred_consumed(BLink token) {
+  // The coalesce window expired with no reply to ride: post the
+  // standalone CONSUMED notice after all.
+  LinkRec* rec = find(token);
+  if (rec == nullptr || rec->destroyed || !rec->consumed_owed) co_return;
+  rec->consumed_owed = false;
+  const chrysalis::MemId obj = rec->obj;
+  const std::uint8_t sender_side = rec->side ^ 1;
+  const auto slot = static_cast<std::uint32_t>(rec->consumed_slot);
+  auto dq_name = co_await kernel_->read32(pid_, obj, dq_offset(sender_side));
+  if (dq_name.ok()) {
+    co_await post_notice(chrysalis::DqId(dq_name.value()),
+                         make_notice(obj, kCodeConsumedBase + slot));
+  }
+}
+
 sim::Task<> ChrysalisBackend::unmap_object(chrysalis::MemId obj) {
   (void)co_await kernel_->unmap(pid_, obj);
 }
@@ -435,17 +506,53 @@ sim::Task<> ChrysalisBackend::consume_incoming(chrysalis::MemId obj,
   if (!raw.ok()) co_return;
   (void)co_await kernel_->fetch_and16(
       pid_, obj, kOffFlags, static_cast<std::uint16_t>(~slot_bit(slot)));
-  // Ack the producer.
-  const std::uint8_t sender_side = recv_side ^ 1;
-  auto dq_name = co_await kernel_->read32(pid_, obj, dq_offset(sender_side));
-  if (dq_name.ok()) {
-    co_await post_notice(
-        chrysalis::DqId(dq_name.value()),
-        make_notice(obj,
-                    kCodeConsumedBase + static_cast<std::uint32_t>(slot)));
-  }
-
   DecodedBuffer decoded = decode_buffer(raw.value());
+  // Ack the producer (ack protocol v2, DESIGN.md §12):
+  //  * enclosure-free replies: the sender resolved early at the flag
+  //    write — nobody is parked on the hint, skip the dq round trip;
+  //  * replies generally: their arrival proves our own request on this
+  //    link was consumed (RPC ordering), so settle the parked request
+  //    send now — its CONSUMED notice may have been piggybacked away;
+  //  * requests: defer the CONSUMED notice by consumed_coalesce_delay —
+  //    if our reply beats the timer, the notice is never posted.
+  const std::uint8_t sender_side = recv_side ^ 1;
+  if (slot_is_reply(slot)) {
+    handle_consumed(obj, recv_side == 0 ? 0 : 2);
+    if (!decoded.encs.empty()) {
+      auto dq_name =
+          co_await kernel_->read32(pid_, obj, dq_offset(sender_side));
+      if (dq_name.ok()) {
+        co_await post_notice(
+            chrysalis::DqId(dq_name.value()),
+            make_notice(obj,
+                        kCodeConsumedBase + static_cast<std::uint32_t>(slot)));
+      }
+    }
+  } else {
+    rec = side_rec(obj, recv_side);  // re-find: awaits above may rehash
+    if (rec != nullptr && !rec->destroyed &&
+        params_.consumed_coalesce_delay > 0) {
+      const BLink owed_token = rec->token;
+      if (rec->consumed_owed) rec->consumed_timer.cancel();
+      rec->consumed_owed = true;
+      rec->consumed_slot = slot;
+      rec->consumed_trace = decoded.trace;
+      rec->consumed_timer = kernel_->engine().schedule_cancellable(
+          params_.consumed_coalesce_delay, [this, owed_token] {
+            kernel_->engine().spawn("chrysalis-consumed",
+                                    post_deferred_consumed(owed_token));
+          });
+    } else {
+      auto dq_name =
+          co_await kernel_->read32(pid_, obj, dq_offset(sender_side));
+      if (dq_name.ok()) {
+        co_await post_notice(
+            chrysalis::DqId(dq_name.value()),
+            make_notice(obj,
+                        kCodeConsumedBase + static_cast<std::uint32_t>(slot)));
+      }
+    }
+  }
   if (auto* trec = trace::get(kernel_->engine())) {
     trec->instant(node_.value(), "backend", "slot.consume", decoded.trace,
                   static_cast<std::uint64_t>(slot), raw.value().size());
@@ -461,7 +568,7 @@ sim::Task<> ChrysalisBackend::consume_incoming(chrysalis::MemId obj,
         static_cast<std::uint32_t>(my_dq_.value()));
     const BLink nb = blink_ids_.next();
     links_.emplace(nb,
-                   LinkRec{nb, eobj, eside, false, false, false, {}, {}});
+                   make_rec(nb, eobj, eside));
     index_link(links_.at(nb));
     enclosures.push_back(nb);
     auto eflags = co_await kernel_->read16(pid_, eobj, kOffFlags);
@@ -626,6 +733,16 @@ void ChrysalisBackend::shutdown() {
 }
 
 sim::Task<> ChrysalisBackend::perform_shutdown() {
+  // Settle deferred CONSUMED notices before the links go away: the
+  // peer's request send is still parked on them.
+  std::vector<BLink> owed;
+  for (auto& [token, rec] : links_) {
+    if (rec.consumed_owed) {
+      rec.consumed_timer.cancel();
+      owed.push_back(token);
+    }
+  }
+  for (const BLink token : owed) co_await post_deferred_consumed(token);
   // "Before terminating, each process destroys all of its links."
   std::vector<std::pair<chrysalis::MemId, std::uint8_t>> to_destroy;
   for (auto& [token, rec] : links_) {
@@ -672,12 +789,10 @@ sim::Task<std::pair<LinkHandle, LinkHandle>> ChrysalisBackend::connect(
   (void)co_await k.write32(bb->pid_, obj.value(), kOffDqB,
                            static_cast<std::uint32_t>(bb->my_dq_.value()));
   const BLink ta = ba->blink_ids_.next();
-  ba->links_.emplace(ta, LinkRec{ta, obj.value(), 0, false, false, false,
-                                 {}, {}});
+  ba->links_.emplace(ta, ChrysalisBackend::make_rec(ta, obj.value(), 0));
   ba->index_link(ba->links_.at(ta));
   const BLink tb = bb->blink_ids_.next();
-  bb->links_.emplace(tb, LinkRec{tb, obj.value(), 1, false, false, false,
-                                 {}, {}});
+  bb->links_.emplace(tb, ChrysalisBackend::make_rec(tb, obj.value(), 1));
   bb->index_link(bb->links_.at(tb));
   co_return std::pair(a.adopt_link(ta), b.adopt_link(tb));
 }

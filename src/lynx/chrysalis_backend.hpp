@@ -39,6 +39,19 @@ struct ChrysalisBackendParams {
   // batch).  0 = one enqueue per notice (the default).
   sim::Duration form_delay = sim::Duration(0);
   std::size_t form_max_notices = 16;
+  // Batched dual-queue drains (ack protocol v2, DESIGN.md §12): each
+  // pump wakeup services every ready notice through one
+  // Kernel::dequeue_many dispatch instead of paying a full dq_dequeue
+  // per notice.  false = one notice per wakeup (the v1 behaviour).
+  bool batched_drain = true;
+  std::size_t drain_max_notices = 16;
+  // Consumed-notice coalescing (the ack-v2 piggyback, DESIGN.md §12):
+  // after consuming a request we owe the sender a CONSUMED notice — but
+  // if our reply goes out within this delay, the reply's FILLED notice
+  // proves consumption (RPC ordering) and the standalone notice is
+  // skipped; the requester infers delivery from the reply itself.
+  // 0 = post immediately (the v1 behaviour).
+  sim::Duration consumed_coalesce_delay = sim::msec(2);
 };
 
 class ChrysalisBackend final : public Backend {
@@ -97,7 +110,22 @@ class ChrysalisBackend final : public Backend {
     bool destroyed = false;
     PendingOut out_req;
     PendingOut out_rep;
+    // A CONSUMED notice we owe the peer for their request, deferred by
+    // consumed_coalesce_delay in the hope our reply makes it redundant.
+    bool consumed_owed = false;
+    int consumed_slot = -1;
+    std::uint64_t consumed_trace = 0;
+    sim::TimerHandle consumed_timer;
   };
+
+  [[nodiscard]] static LinkRec make_rec(BLink token, chrysalis::MemId obj,
+                                        std::uint8_t side) {
+    LinkRec rec;
+    rec.token = token;
+    rec.obj = obj;
+    rec.side = side;
+    return rec;
+  }
 
   // object layout helpers
   [[nodiscard]] std::size_t slot_offset(int slot) const;
@@ -107,6 +135,7 @@ class ChrysalisBackend final : public Backend {
   [[nodiscard]] sim::Task<> maybe_consume(chrysalis::MemId obj, int slot);
   [[nodiscard]] sim::Task<> consume_incoming(chrysalis::MemId obj, int slot);
   void handle_consumed(chrysalis::MemId obj, int slot);
+  [[nodiscard]] sim::Task<> post_deferred_consumed(BLink token);
   [[nodiscard]] sim::Task<> handle_destroyed_notice(chrysalis::MemId obj);
   [[nodiscard]] sim::Task<> perform_send(BLink link, WireMessage msg,
                                          class ChrysalisPendingSend* ps);

@@ -118,6 +118,7 @@ SodaBackend::SodaBackend(soda::Network& network, SodaDirectory& directory,
       node_(node),
       params_(params),
       pid_(network.create_process(node)),
+      drained_(std::make_unique<sim::WaitList>(network.engine())),
       ready_(std::make_unique<sim::Gate>(network.engine())) {}
 
 SodaBackend::~SodaBackend() = default;
@@ -139,9 +140,9 @@ sim::Task<> SodaBackend::pump() {
     ready_->open();
   }
   for (;;) {
-    if (!running_) break;
+    if (!running_ && !draining_) break;
     soda::Interrupt intr = co_await k.next_interrupt(pid_);
-    if (!running_) break;
+    if (!running_ && !draining_) break;
     on_interrupt(intr);
   }
 }
@@ -255,6 +256,28 @@ sim::Task<> SodaBackend::issue_send(std::uint64_t out_id) {
   }
   it2->second.req = req.value();
   out_by_req_[req.value()] = out_id;
+  // Early reply resolve (DESIGN.md §12): the request is on the wire and
+  // the kernel retries/redirects on its own — "the requesting user can
+  // proceed" (§4.1).  Replies carry no further protocol obligations for
+  // the sending thread (the caller is parked waiting for exactly these
+  // bytes), so release it now instead of holding it for the full accept
+  // round trip.  Replies moving enclosures still wait: the move
+  // protocol's bookkeeping is keyed to the completion.
+  OutSend& placed = it2->second;
+  SLink* link2 = find(placed.link);
+  if (placed.kind == MsgKind::kReply && link2 != nullptr &&
+      link2->peer_reply_unwanted) {
+    // The caller hinted (via our status signal) that it aborted: hold
+    // the reply statement for the kernel round trip so the peer's
+    // authoritative flag can answer REPLY-UNWANTED.  Consume the hint.
+    link2->peer_reply_unwanted = false;
+  } else if (placed.kind == MsgKind::kReply &&
+             placed.enclosure_tokens.empty() && placed.ps != nullptr &&
+             !placed.cancel_requested) {
+    placed.ps->settle(SendOutcome{SendResult::kDelivered, {}});
+    placed.ps = nullptr;
+    placed.early_resolved = true;
+  }
 }
 
 void SodaBackend::resolve_out(std::uint64_t out_id, SendOutcome outcome) {
@@ -263,6 +286,18 @@ void SodaBackend::resolve_out(std::uint64_t out_id, SendOutcome outcome) {
   if (it->second.req.valid()) out_by_req_.erase(it->second.req);
   if (it->second.ps != nullptr) it->second.ps->settle(std::move(outcome));
   outs_.erase(it);
+  note_drain_progress();
+}
+
+bool SodaBackend::has_unsettled_early() const {
+  for (const auto& [id, out] : outs_) {
+    if (out.early_resolved) return true;
+  }
+  return false;
+}
+
+void SodaBackend::note_drain_progress() {
+  if (draining_ && !has_unsettled_early()) drained_->wake_all();
 }
 
 void SodaBackend::request_cancel(std::uint64_t out_id) {
@@ -480,6 +515,12 @@ void SodaBackend::on_completion(const soda::CompletionInterrupt& c) {
     } else if (op == Oop::kMoved) {
       ++stats_.hint_misses;
       link->peer_hint = soda::Pid(c.oob[1]);
+      network_->engine().spawn("soda-signal", post_signal(token));
+    } else if (op == Oop::kReplyUnwanted) {
+      // The caller aborted: our next reply must wait for the peer's
+      // authoritative verdict instead of resolving early.  Repost the
+      // signal — it still watches for destruction and moves.
+      link->peer_reply_unwanted = true;
       network_->engine().spawn("soda-signal", post_signal(token));
     }
     return;
@@ -788,7 +829,22 @@ sim::Task<> SodaBackend::post_signal(BLink token) {
 }
 
 void SodaBackend::retract_reply_interest(BLink token) {
-  if (SLink* link = find(token)) link->reply_unwanted = true;
+  SLink* link = find(token);
+  if (link == nullptr) return;
+  link->reply_unwanted = true;
+  // Tell the replier right away by answering its parked status signal:
+  // without the hint, the early reply resolve (DESIGN.md §12) would
+  // release the reply statement before our authoritative flag could
+  // bounce the reply.  Losing the hint (no signal parked) only costs
+  // the exception's punctuality, never the flag's verdict.
+  if (!link->parked_signals.empty()) {
+    const soda::ReqId sig = link->parked_signals.front();
+    link->parked_signals.pop_front();
+    if (parked_.erase(sig) > 0) {
+      network_->engine().spawn("soda-unwanted-hint",
+                               accept_with(sig, Oop::kReplyUnwanted, 0));
+    }
+  }
 }
 
 // ===================== destruction =====================
@@ -840,10 +896,16 @@ sim::Task<> SodaBackend::perform_destroy(BLink token) {
 void SodaBackend::shutdown() {
   if (!running_) return;
   running_ = false;
+  draining_ = true;
   network_->engine().spawn("soda-shutdown", perform_shutdown());
 }
 
 sim::Task<> SodaBackend::perform_shutdown() {
+  // Drain early-resolved replies first: their threads have moved on, but
+  // the bytes are still the kernel's responsibility, and terminate()
+  // drops this process's outstanding requests without completing them.
+  while (has_unsettled_early()) co_await drained_->wait();
+  draining_ = false;
   std::vector<BLink> tokens;
   for (auto& [token, link] : links_) tokens.push_back(token);
   for (BLink t : tokens) co_await perform_destroy(t);

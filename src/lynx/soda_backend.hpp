@@ -138,6 +138,11 @@ class SodaBackend final : public Backend {
     std::deque<soda::ReqId> parked_requests;  // unaccepted LYNX requests
     std::deque<soda::ReqId> parked_signals;   // peer's status signals
     soda::ReqId signal_out;  // our outstanding status signal (if valid)
+    // The caller answered our status signal with REPLY-UNWANTED: our
+    // next reply must take the full kernel round trip so the peer's
+    // authoritative reply_unwanted flag can bounce it (capability 4
+    // survives the early reply resolve).  One-shot, like the flag.
+    bool peer_reply_unwanted = false;
   };
 
   struct ParkedInfo {
@@ -158,6 +163,9 @@ class SodaBackend final : public Backend {
     std::vector<BLink> enclosure_tokens;
     SodaPendingSend* ps = nullptr;
     bool cancel_requested = false;
+    // The LYNX thread was released before the kernel leg finished (the
+    // early reply resolve, DESIGN.md §12); shutdown drains these.
+    bool early_resolved = false;
     int reroutes = 0;
     std::uint64_t trace = 0;       // causal identity from the WireMessage
   };
@@ -202,6 +210,9 @@ class SodaBackend final : public Backend {
   [[nodiscard]] sim::Task<> post_signal(BLink token);
   void maybe_accept_parked(SLink& link);
   void mark_destroyed(SLink& link);
+  // Early-resolved replies whose kernel leg is still in flight.
+  [[nodiscard]] bool has_unsettled_early() const;
+  void note_drain_progress();
   [[nodiscard]] SLink* find(BLink token);
   [[nodiscard]] SLink* find_by_name(soda::Name name);
   void remember_move(soda::Name name, soda::Pid new_owner);
@@ -214,6 +225,13 @@ class SodaBackend final : public Backend {
   soda::Name freeze_name_;
   Sink sink_;
   bool running_ = false;
+  // Shutdown drain: an early-resolved reply's OutSend may still be in
+  // flight at the kernel when the runtime asks to shut down; terminating
+  // then would strand the reply (terminate_process drops this process's
+  // outstanding requests on the floor).  The pump keeps servicing
+  // interrupts while draining_ until every early-resolved send settles.
+  bool draining_ = false;
+  std::unique_ptr<sim::WaitList> drained_;
   bool comm_ready_ = false;
   std::unique_ptr<sim::Gate> ready_;
 

@@ -82,6 +82,16 @@ Kernel::Kernel(Network& network, net::NodeId node)
 
 void Kernel::transmit(net::NodeId dst, WireFrame frame, std::size_t bytes,
                       std::uint64_t trace) {
+  attach_frag_ack(dst, frame);
+  if (v2_acks()) {
+    // The frontier can never legitimately exceed the live fragment
+    // that carries it — clamp so a frame is never self-screening.
+    if (auto* rf = std::get_if<ReqFrag>(&frame)) {
+      if (rf->tseq > 0) rf->tseq_base = std::min(tx_frontier(dst), rf->tseq);
+    } else if (auto* af = std::get_if<AcceptFrag>(&frame)) {
+      if (af->tseq > 0) af->tseq_base = std::min(tx_frontier(dst), af->tseq);
+    }
+  }
   ++frames_out_;
   if (auto* rec = trace::get(network_->engine())) {
     rec->instant(node_.value(), "wire", "frame.tx", trace, frame.index(),
@@ -94,6 +104,182 @@ void Kernel::transmit(net::NodeId dst, WireFrame frame, std::size_t bytes,
 
 bool Kernel::acks_enabled() const {
   return network_->costs().ack_timeout > 0;
+}
+
+bool Kernel::v2_acks() const {
+  return acks_enabled() && network_->costs().cumulative_acks;
+}
+
+// ---- ack protocol v2: receiver side ------------------------------------
+
+bool Kernel::transport_dup(net::NodeId from, std::uint64_t tseq) {
+  if (tseq == 0) return false;
+  const PeerRx& rx = peer_rx_[from];
+  return tseq <= rx.watermark || rx.ooo.contains(tseq);
+}
+
+void Kernel::record_tseq(net::NodeId from, std::uint64_t tseq) {
+  if (tseq == 0) return;
+  PeerRx& rx = peer_rx_[from];
+  if (tseq <= rx.watermark) return;
+  rx.ooo.insert(tseq);
+  while (rx.ooo.contains(rx.watermark + 1)) {
+    rx.ooo.erase(rx.watermark + 1);
+    ++rx.watermark;
+  }
+}
+
+void Kernel::advance_base(net::NodeId from, std::uint64_t base,
+                          std::uint64_t trace) {
+  if (base <= 1) return;
+  PeerRx& rx = peer_rx_[from];
+  if (base - 1 <= rx.watermark) return;
+  // Every tseq below `base` is acked or abandoned at the sender: a
+  // retransmission-exhausted send to a crashed node leaves a permanent
+  // hole that would otherwise pin the watermark (and with it every
+  // later send) forever.  Jump over it and ack so the sender learns.
+  rx.watermark = base - 1;
+  while (!rx.ooo.empty() && *rx.ooo.begin() <= rx.watermark) {
+    rx.ooo.erase(rx.ooo.begin());
+  }
+  while (rx.ooo.contains(rx.watermark + 1)) {
+    rx.ooo.erase(rx.watermark + 1);
+    ++rx.watermark;
+  }
+  owe_transport_ack(from, trace);
+}
+
+std::uint64_t Kernel::tx_frontier(net::NodeId dst) {
+  std::uint64_t base = peer_tx_[dst].next_tseq;
+  for (const auto& [req, ts] : transport_) {
+    if (ts.dst != dst) continue;
+    for (std::size_t i = 0; i < ts.tseq.size(); ++i) {
+      if (!ts.acked[i]) base = std::min(base, ts.tseq[i]);
+    }
+  }
+  for (const auto& [req, pa] : pending_accepts_) {
+    if (pa.dst != dst) continue;
+    for (std::size_t i = 0; i < pa.tseq.size(); ++i) {
+      if (!pa.acked[i]) base = std::min(base, pa.tseq[i]);
+    }
+  }
+  return base;
+}
+
+void Kernel::owe_transport_ack(net::NodeId to, std::uint64_t trace) {
+  PeerRx& rx = peer_rx_[to];
+  rx.owed_trace = trace;
+  if (rx.ack_owed) return;  // the pending ack's deadline covers this one
+  rx.ack_owed = true;
+  const sim::Duration delay = network_->costs().ack_coalesce_delay;
+  if (delay <= 0) {
+    flush_transport_ack(to);
+    return;
+  }
+  rx.ack_timer = network_->engine().schedule_cancellable(
+      delay, [this, to] { flush_transport_ack(to); });
+}
+
+void Kernel::flush_transport_ack(net::NodeId to) {
+  auto it = peer_rx_.find(to);
+  if (it == peer_rx_.end() || !it->second.ack_owed) return;
+  PeerRx& rx = it->second;
+  rx.ack_owed = false;
+  rx.ack_timer.cancel();
+  transmit(to, TransportAck{rx.watermark}, 8, rx.owed_trace);
+}
+
+void Kernel::reack_now(net::NodeId to, std::uint64_t trace) {
+  PeerRx& rx = peer_rx_[to];
+  rx.ack_owed = false;
+  rx.ack_timer.cancel();
+  transmit(to, TransportAck{rx.watermark}, 8, trace);
+}
+
+void Kernel::ack_req_frag(net::NodeId from, const ReqFrag& f) {
+  if (!acks_enabled()) return;
+  if (f.tseq > 0) {
+    record_tseq(from, f.tseq);
+    owe_transport_ack(from, f.trace);
+  } else {
+    transmit(from, ReqAck{f.req, f.frag_index}, 8, f.trace);
+  }
+}
+
+void Kernel::attach_frag_ack(net::NodeId dst, WireFrame& frame) {
+  if (!v2_acks()) return;
+  auto it = peer_rx_.find(dst);
+  if (it == peer_rx_.end() || !it->second.ack_owed) return;
+  PeerRx& rx = it->second;
+  if (auto* rf = std::get_if<ReqFrag>(&frame)) {
+    rf->has_ack = true;
+    rf->ack_seq = rx.watermark;
+  } else if (auto* af = std::get_if<AcceptFrag>(&frame)) {
+    af->has_ack = true;
+    af->ack_seq = rx.watermark;
+  } else {
+    return;
+  }
+  rx.ack_owed = false;
+  rx.ack_timer.cancel();
+  if (auto* rec = trace::get(network_->engine())) {
+    rec->instant(node_.value(), "kernel", "ack.piggyback", rx.owed_trace,
+                 rx.watermark, 0);
+  }
+}
+
+// ---- ack protocol v2: sender side --------------------------------------
+
+void Kernel::apply_cumulative_ack(net::NodeId from, std::uint64_t watermark) {
+  const Costs& costs = network_->costs();
+  const sim::Time now = network_->engine().now();
+  for (auto& [req, ts] : transport_) {
+    if (ts.dst != from || ts.tseq.empty()) continue;
+    bool all = true;
+    bool any_new = false;
+    for (std::size_t i = 0; i < ts.tseq.size(); ++i) {
+      if (!ts.acked[i] && ts.tseq[i] <= watermark) {
+        ts.acked[i] = true;
+        any_new = true;
+      }
+      all = all && ts.acked[i];
+    }
+    if (all && any_new && costs.adaptive_rto && ts.attempts == 1 &&
+        ts.first_sent_at > 0) {
+      // Karn's rule: only unretransmitted exchanges produce samples.
+      peer_tx_[from].rtt.observe(now - ts.first_sent_at);
+      ts.first_sent_at = 0;
+    }
+  }
+  std::vector<ReqId> finished;
+  for (auto& [req, pa] : pending_accepts_) {
+    if (pa.dst != from || pa.tseq.empty()) continue;
+    bool all = true;
+    bool any_new = false;
+    for (std::size_t i = 0; i < pa.tseq.size(); ++i) {
+      if (!pa.acked[i] && pa.tseq[i] <= watermark) {
+        pa.acked[i] = true;
+        any_new = true;
+      }
+      all = all && pa.acked[i];
+    }
+    if (all) {
+      if (any_new && costs.adaptive_rto && pa.attempts == 1 &&
+          pa.first_sent_at > 0) {
+        peer_tx_[from].rtt.observe(now - pa.first_sent_at);
+      }
+      finished.push_back(req);
+    }
+  }
+  for (const ReqId req : finished) {
+    auto it = pending_accepts_.find(req);
+    it->second.timer.cancel();
+    pending_accepts_.erase(it);
+  }
+}
+
+void Kernel::handle(const TransportAck& f, net::NodeId from) {
+  apply_cumulative_ack(from, f.watermark);
 }
 
 void Kernel::on_frame(const net::Frame& frame) {
@@ -261,6 +447,13 @@ void Kernel::send_request_frags(const Outstanding& out,
   const std::size_t len = out.data.size();
   const auto frag_count = static_cast<std::uint32_t>(
       len == 0 ? 1 : (len + mtu - 1) / mtu);
+  // v2 wire: each fragment carries the per-peer transport sequence it
+  // was assigned at first transmission (stored on the tracker).
+  const std::vector<std::uint64_t>* tseqs = nullptr;
+  if (auto tt = transport_.find(out.id);
+      tt != transport_.end() && !tt->second.tseq.empty()) {
+    tseqs = &tt->second.tseq;
+  }
   for (std::uint32_t i = 0; i < frag_count; ++i) {
     if (skip != nullptr && i < skip->size() && (*skip)[i]) continue;
     const std::size_t lo = static_cast<std::size_t>(i) * mtu;
@@ -271,6 +464,7 @@ void Kernel::send_request_frags(const Outstanding& out,
                  Payload(out.data.begin() + static_cast<std::ptrdiff_t>(lo),
                          out.data.begin() + static_cast<std::ptrdiff_t>(hi)),
                  out.trace};
+    if (tseqs != nullptr && i < tseqs->size()) frag.tseq = (*tseqs)[i];
     transmit(out.target_node, std::move(frag), 24 + (hi - lo), out.trace);
   }
 }
@@ -290,6 +484,7 @@ void Kernel::send_accept_frags(const PendingAccept& pa,
                     Payload(pa.reply.begin() + static_cast<std::ptrdiff_t>(lo),
                             pa.reply.begin() + static_cast<std::ptrdiff_t>(hi)),
                     pa.trace};
+    if (i < pa.tseq.size()) frag.tseq = pa.tseq[i];
     transmit(pa.dst, std::move(frag), 24 + (hi - lo), pa.trace);
   }
 }
@@ -315,9 +510,11 @@ void Kernel::note_done(ReqId req) {
 void Kernel::arm_transport_timer(ReqId req) {
   auto it = transport_.find(req);
   if (it == transport_.end()) return;
+  const sim::Duration rto = it->second.cur_rto > 0
+                                ? it->second.cur_rto
+                                : network_->costs().ack_timeout;
   it->second.timer = network_->engine().schedule_cancellable(
-      network_->costs().ack_timeout,
-      [this, req] { on_transport_timeout(req); });
+      rto, [this, req] { on_transport_timeout(req); });
 }
 
 void Kernel::on_transport_timeout(ReqId req) {
@@ -351,6 +548,9 @@ void Kernel::on_transport_timeout(ReqId req) {
   }
   ++ts.attempts;
   ++retries_;
+  if (ts.cur_rto > 0) {  // exponential backoff, as Charlotte's v2
+    ts.cur_rto = std::min(ts.cur_rto * 2, network_->costs().rto_max);
+  }
   if (auto* rec = trace::get(network_->engine())) {
     rec->instant(node_.value(), "kernel", "req.retransmit", it->second.trace,
                  req.value(), static_cast<std::uint64_t>(ts.attempts));
@@ -362,8 +562,11 @@ void Kernel::on_transport_timeout(ReqId req) {
 void Kernel::arm_accept_timer(ReqId req) {
   auto it = pending_accepts_.find(req);
   if (it == pending_accepts_.end()) return;
+  const sim::Duration rto = it->second.cur_rto > 0
+                                ? it->second.cur_rto
+                                : network_->costs().ack_timeout;
   it->second.timer = network_->engine().schedule_cancellable(
-      network_->costs().ack_timeout, [this, req] { on_accept_timeout(req); });
+      rto, [this, req] { on_accept_timeout(req); });
 }
 
 void Kernel::on_accept_timeout(ReqId req) {
@@ -380,6 +583,9 @@ void Kernel::on_accept_timeout(ReqId req) {
   }
   ++pa.attempts;
   ++retries_;
+  if (pa.cur_rto > 0) {
+    pa.cur_rto = std::min(pa.cur_rto * 2, network_->costs().rto_max);
+  }
   if (auto* rec = trace::get(network_->engine())) {
     rec->instant(node_.value(), "kernel", "accept.retransmit", pa.trace,
                  req.value(), static_cast<std::uint64_t>(pa.attempts));
@@ -434,14 +640,28 @@ sim::Task<Result<ReqId>> Kernel::request(Pid caller, Pid target, Name name,
   const ReqId id = network_->new_req();
   Outstanding out{id,   caller, target, network_->node_of(target),
                   name, oob,    std::move(send_data), recv_limit, 0, trace};
-  send_request_frags(out);
   const auto frag_count = static_cast<std::size_t>(frags);
-  outstanding_.emplace(id, std::move(out));
   if (acks_enabled()) {
-    transport_.emplace(id,
-                       TransportSend{1, std::vector<bool>(frag_count), {}});
-    arm_transport_timer(id);
+    // The tracker goes in before the fragments leave: send_request_frags
+    // reads the assigned tseqs from it (v2 wire).
+    TransportSend ts;
+    ts.acked.assign(frag_count, false);
+    ts.dst = out.target_node;
+    if (costs.cumulative_acks) {
+      PeerTx& tx = peer_tx_[out.target_node];
+      ts.tseq.resize(frag_count);
+      for (std::uint64_t& s : ts.tseq) s = tx.next_tseq++;
+      if (costs.adaptive_rto) {
+        ts.cur_rto =
+            tx.rtt.rto(costs.ack_timeout, costs.rto_min, costs.rto_max);
+      }
+    }
+    ts.first_sent_at = network_->engine().now();
+    transport_.emplace(id, std::move(ts));
   }
+  send_request_frags(out);
+  outstanding_.emplace(id, std::move(out));
+  if (acks_enabled()) arm_transport_timer(id);
   co_return id;
 }
 
@@ -502,20 +722,38 @@ sim::Task<Result<Payload>> Kernel::accept(Pid caller, ReqId request, Oob oob,
       costs.per_byte_copy * static_cast<sim::Duration>(take + give) +
       costs.frame_processing * frag_count);
 
-  PendingAccept pa{request,
-                   parked.from_node,
-                   oob,
-                   take,
-                   give,
-                   std::move(reply_data),
-                   std::vector<bool>(frag_count),
-                   1,
-                   {},
-                   parked.trace};
-  send_accept_frags(pa);
+  PendingAccept pa;
+  pa.req = request;
+  pa.dst = parked.from_node;
+  pa.oob = oob;
+  pa.delivered = take;
+  pa.reply_total = give;
+  pa.reply = std::move(reply_data);
+  pa.acked.assign(frag_count, false);
+  pa.attempts = 1;
+  pa.trace = parked.trace;
   if (acks_enabled()) {
-    pending_accepts_.emplace(request, std::move(pa));
+    const Costs& c = network_->costs();
+    if (c.cumulative_acks) {
+      PeerTx& tx = peer_tx_[pa.dst];
+      pa.tseq.resize(frag_count);
+      for (std::uint64_t& s : pa.tseq) s = tx.next_tseq++;
+      if (c.adaptive_rto) {
+        pa.cur_rto = tx.rtt.rto(c.ack_timeout, c.rto_min, c.rto_max);
+      }
+    }
+    pa.first_sent_at = network_->engine().now();
+  }
+  if (acks_enabled()) {
+    // Tracker first, fragments second (like the request path): the
+    // frontier scan in tx_frontier must see this accept's live tseqs,
+    // or the fragments would carry a tseq_base beyond themselves and
+    // the receiver would screen them as duplicates.
+    auto [pit, inserted] = pending_accepts_.emplace(request, std::move(pa));
+    send_accept_frags(pit->second);
     arm_accept_timer(request);
+  } else {
+    send_accept_frags(pa);
   }
   co_return taken;
 }
@@ -523,11 +761,29 @@ sim::Task<Result<Payload>> Kernel::accept(Pid caller, ReqId request, Oob oob,
 // ===================== frame handlers =====================
 
 void Kernel::handle(const ReqFrag& f, net::NodeId from) {
+  // A piggybacked cumulative ack applies no matter what becomes of the
+  // fragment itself.
+  if (f.has_ack) apply_cumulative_ack(from, f.ack_seq);
+
+  // v2 wire: transport-level duplicates are screened by the per-peer
+  // watermark before any request-level state is consulted — the peer is
+  // retransmitting because its ack was lost, so re-ack immediately
+  // (never coalesced) and drop.  Unlike the done_set_ below, the
+  // watermark never forgets, so arbitrarily-delayed duplicates cannot
+  // be serviced twice.
+  if (acks_enabled() && f.tseq > 0) {
+    advance_base(from, f.tseq_base, f.trace);
+    if (transport_dup(from, f.tseq)) {
+      reack_now(from, f.trace);
+      return;
+    }
+  }
+
   // Whole-request duplicates: already parked here, or already accepted
   // (a retransmission raced the accept).  Re-ack — the first ack may
   // have been lost — but don't park twice.
   if (parked_.contains(f.req) || done_set_.contains(f.req)) {
-    if (acks_enabled()) transmit(from, ReqAck{f.req, f.frag_index}, 8, f.trace);
+    ack_req_frag(from, f);
     return;
   }
 
@@ -544,9 +800,7 @@ void Kernel::handle(const ReqFrag& f, net::NodeId from) {
     if (r.have.empty()) r.have.resize(f.frag_count, false);
     if (f.frag_index >= r.have.size()) return;
     if (r.have[f.frag_index]) {
-      if (acks_enabled()) {
-        transmit(from, ReqAck{f.req, f.frag_index}, 8, f.trace);
-      }
+      ack_req_frag(from, f);
       return;
     }
     r.have[f.frag_index] = true;
@@ -555,9 +809,7 @@ void Kernel::handle(const ReqFrag& f, net::NodeId from) {
     std::copy(f.data.begin(), f.data.end(),
               r.data.begin() + static_cast<std::ptrdiff_t>(lo));
     if (++r.seen < f.frag_count) {
-      if (acks_enabled()) {
-        transmit(from, ReqAck{f.req, f.frag_index}, 8, f.trace);
-      }
+      ack_req_frag(from, f);
       return;
     }
   }
@@ -589,7 +841,7 @@ void Kernel::handle(const ReqFrag& f, net::NodeId from) {
     return;
   }
 
-  if (acks_enabled()) transmit(from, ReqAck{f.req, f.frag_index}, 8, f.trace);
+  ack_req_frag(from, f);
   Payload data;
   if (f.frag_count > 1) {
     data = std::move(req_reassembly_[f.req].data);
@@ -634,10 +886,23 @@ void Kernel::handle(const ReqNack& f, net::NodeId /*from*/) {
 }
 
 void Kernel::handle(const AcceptFrag& f, net::NodeId from) {
+  if (f.has_ack) apply_cumulative_ack(from, f.ack_seq);
   // Ack even when the request is already resolved here: the accepter
-  // may be retransmitting because *its* acks were lost.
+  // may be retransmitting because *its* acks were lost.  AcceptFrags
+  // carry no verdict, so v2 records the tseq at receipt; duplicates are
+  // screened by the watermark and re-acked immediately.
   if (acks_enabled()) {
-    transmit(from, AcceptAck{f.req, f.frag_index}, 8, f.trace);
+    if (f.tseq > 0) {
+      advance_base(from, f.tseq_base, f.trace);
+      if (transport_dup(from, f.tseq)) {
+        reack_now(from, f.trace);
+        return;
+      }
+      record_tseq(from, f.tseq);
+      owe_transport_ack(from, f.trace);
+    } else {
+      transmit(from, AcceptAck{f.req, f.frag_index}, 8, f.trace);
+    }
   }
   auto it = outstanding_.find(f.req);
   if (it == outstanding_.end()) return;

@@ -20,12 +20,14 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <variant>
 #include <vector>
 
 #include "common/result.hpp"
+#include "common/rtt_estimator.hpp"
 #include "form/packer.hpp"
 #include "net/csma_bus.hpp"
 #include "sim/engine.hpp"
@@ -135,6 +137,12 @@ class Kernel {
     int attempts = 1;
     std::vector<bool> acked;  // per request fragment
     sim::TimerHandle timer;
+    // v2 wire: per-peer transport sequence number of each fragment,
+    // assigned once and reused verbatim across retransmissions.
+    net::NodeId dst;
+    std::vector<std::uint64_t> tseq;
+    sim::Time first_sent_at = 0;  // Karn: sample only unretransmitted
+    sim::Duration cur_rto = 0;    // 0 = fixed ack_timeout (v1)
   };
   struct PendingAccept {  // accepter side, until AcceptAcks arrive
     ReqId req;
@@ -147,6 +155,23 @@ class Kernel {
     int attempts = 1;
     sim::TimerHandle timer;
     std::uint64_t trace = 0;
+    std::vector<std::uint64_t> tseq;  // as TransportSend::tseq
+    sim::Time first_sent_at = 0;
+    sim::Duration cur_rto = 0;
+  };
+  // v2 per-peer transport state.  One sequence-number stream covers
+  // every fragment this kernel sends to `peer`, so a single cumulative
+  // watermark acknowledges request and accept legs alike.
+  struct PeerTx {  // sender side
+    std::uint64_t next_tseq = 1;
+    common::RttEstimator rtt;
+  };
+  struct PeerRx {  // receiver side
+    std::uint64_t watermark = 0;      // all tseq <= watermark received
+    std::set<std::uint64_t> ooo;      // received above the watermark
+    bool ack_owed = false;
+    std::uint64_t owed_trace = 0;
+    sim::TimerHandle ack_timer;       // standalone-ack fallback
   };
   struct DiscoverWait {
     // Non-owning: the OneShot lives in the discover() coroutine frame,
@@ -156,7 +181,9 @@ class Kernel {
     bool settled = false;
   };
 
-  // wire frames
+  // wire frames — public so tests and fault-injection tooling can
+  // inspect frame bodies on the medium (the Charlotte wire:: idiom).
+ public:
   struct ReqFrag {
     ReqId req;
     Pid from;
@@ -169,6 +196,16 @@ class Kernel {
     std::uint32_t frag_count = 1;
     Payload data;
     std::uint64_t trace = 0;
+    // v2 wire descriptor: per-peer transport sequence (0 = v1 frame) and
+    // an optional piggybacked cumulative ack for the reverse direction.
+    std::uint64_t tseq = 0;
+    // Sender frontier: every tseq below this is acked or abandoned
+    // (retransmission exhaustion at a crashed peer) — the receiver may
+    // jump its watermark to tseq_base - 1 so abandoned holes cannot
+    // stall the cumulative ack stream forever.
+    std::uint64_t tseq_base = 0;
+    bool has_ack = false;
+    std::uint64_t ack_seq = 0;
   };
   enum class NackReason : std::uint8_t { kClosed, kNoName, kDead };
   struct ReqNack {
@@ -184,6 +221,10 @@ class Kernel {
     std::uint32_t frag_count = 1;
     Payload data;
     std::uint64_t trace = 0;
+    std::uint64_t tseq = 0;       // v2 wire descriptor, as ReqFrag
+    std::uint64_t tseq_base = 0;  // sender frontier, as ReqFrag
+    bool has_ack = false;
+    std::uint64_t ack_seq = 0;
   };
   struct CrashNote {
     ReqId req;
@@ -211,10 +252,17 @@ class Kernel {
   struct RebootNote {
     net::NodeId node;
   };
+  // v2 wire: one cumulative standalone ack — "every fragment you sent me
+  // with tseq <= watermark arrived".  Appended to the variant so the
+  // frame.tx indices of the v1 frames are unchanged.
+  struct TransportAck {
+    std::uint64_t watermark = 0;
+  };
   using WireFrame = std::variant<ReqFrag, ReqNack, AcceptFrag, CrashNote,
                                  DiscoverQuery, DiscoverReply, ReqAck,
-                                 AcceptAck, RebootNote>;
+                                 AcceptAck, RebootNote, TransportAck>;
 
+ private:
   void on_frame(const net::Frame& frame);
   void on_batch(const net::Frame& frame);
   void handle(const ReqFrag& f, net::NodeId from);
@@ -226,6 +274,7 @@ class Kernel {
   void handle(const ReqAck& f, net::NodeId from);
   void handle(const AcceptAck& f, net::NodeId from);
   void handle(const RebootNote& f, net::NodeId from);
+  void handle(const TransportAck& f, net::NodeId from);
 
   // `trace` stamps the outgoing net::Frame (and the frame.tx record);
   // pass the fragment's trace where one exists, 0 for protocol frames.
@@ -238,12 +287,43 @@ class Kernel {
                          const std::vector<bool>* skip = nullptr);
   void schedule_retry(ReqId req);
   [[nodiscard]] bool acks_enabled() const;
+  // v2 wire selected (cumulative_acks && acks_enabled).
+  [[nodiscard]] bool v2_acks() const;
   void arm_transport_timer(ReqId req);
   void on_transport_timeout(ReqId req);
   void arm_accept_timer(ReqId req);
   void on_accept_timeout(ReqId req);
   void drop_transport(ReqId req);  // cancels the retransmit timer
   void note_done(ReqId req);       // remember accepted reqs for re-acking
+  // ---- v2 transport helpers ----
+  // Receiver: is this a transport-level duplicate from `from`?
+  [[nodiscard]] bool transport_dup(net::NodeId from, std::uint64_t tseq);
+  // Receiver: mark tseq received and advance the watermark through the
+  // out-of-order set.
+  void record_tseq(net::NodeId from, std::uint64_t tseq);
+  // Receiver: the sender promised never to (re)transmit below `base`;
+  // jump the watermark over abandoned holes (crash recovery).
+  void advance_base(net::NodeId from, std::uint64_t base,
+                    std::uint64_t trace);
+  // Sender: lowest unacked live tseq bound for `dst` (next_tseq if
+  // none) — stamped on every outgoing v2 data fragment.
+  [[nodiscard]] std::uint64_t tx_frontier(net::NodeId dst);
+  // Receiver: owe `to` a cumulative ack; flushed standalone after
+  // ack_coalesce_delay unless a reverse-leg fragment picks it up first.
+  void owe_transport_ack(net::NodeId to, std::uint64_t trace);
+  void flush_transport_ack(net::NodeId to);
+  // Receiver: a duplicate means the peer is retransmitting — its ack was
+  // lost.  Re-ack the watermark immediately, never coalesced.
+  void reack_now(net::NodeId to, std::uint64_t trace);
+  // Receiver: v1 acks frag-by-frag, v2 records the tseq and owes a
+  // cumulative ack.  Used for every acknowledged ReqFrag.
+  void ack_req_frag(net::NodeId from, const ReqFrag& f);
+  // Sender: a cumulative watermark from `from` arrived (standalone or
+  // piggybacked); retire acked fragments and feed the RTT estimator.
+  void apply_cumulative_ack(net::NodeId from, std::uint64_t watermark);
+  // Sender: attach an owed ack to an outgoing data fragment bound for
+  // `dst`, if one is pending there.
+  void attach_frag_ack(net::NodeId dst, WireFrame& frame);
   void raise(Pid pid, Interrupt intr);
   void park_and_interrupt(ParkedRequest parked);
   [[nodiscard]] std::uint64_t pair_key(Pid a, Pid b) const {
@@ -267,6 +347,8 @@ class Kernel {
   std::unordered_map<ReqId, AcceptFrag> accept_header_;
   std::unordered_map<ReqId, TransportSend> transport_;
   std::unordered_map<ReqId, PendingAccept> pending_accepts_;
+  std::unordered_map<net::NodeId, PeerTx> peer_tx_;
+  std::unordered_map<net::NodeId, PeerRx> peer_rx_;
   // Requests already accepted here; duplicated ReqFrags for them are
   // re-acked and dropped instead of being parked twice.
   std::deque<ReqId> done_fifo_;

@@ -16,6 +16,8 @@
 #include "fault/faulty_medium.hpp"
 #include "fault/invariant_checker.hpp"
 #include "load/load.hpp"
+#include "lynx/chrysalis_backend.hpp"
+#include "lynx/runtime.hpp"
 #include "net/csma_bus.hpp"
 #include "net/token_ring.hpp"
 #include "sim/engine.hpp"
@@ -170,6 +172,107 @@ RunResult run_charlotte_universe(std::uint64_t seed, bool coalesce,
   return {rec.digest(), fm.fault_digest(), rec.total_emitted()};
 }
 
+// The same lossy SODA universe on an explicit wire variant (DESIGN.md
+// "ack protocol v2", SODA half).  `coalesce` off drops the owed-ack
+// deadline timer (acks go out standalone, immediately); `v2` off runs
+// the old per-fragment-ack wire with its done-ring dedup.  Each variant
+// has a different set of timer event sources, and all of them must
+// digest identically run over run.
+RunResult run_soda_wire_universe(std::uint64_t seed, bool v2, bool coalesce) {
+  sim::Engine e;
+  trace::Recorder rec(e);
+  net::CsmaBus bus(e, sim::Rng(7));
+  FaultyMedium fm(e, bus, seed,
+                  Plan{}.background({.drop_prob = 0.15,
+                                     .duplicate_prob = 0.1,
+                                     .corrupt_prob = 0.05,
+                                     .max_jitter = sim::usec(300)}));
+  InvariantChecker check(fm);
+  soda::Costs costs;
+  costs.ack_timeout = sim::msec(10);
+  costs.cumulative_acks = v2;
+  costs.ack_coalesce_delay = coalesce ? sim::msec(3) : sim::Duration(0);
+  soda::Network nw(e, 3, fm, costs);
+
+  soda::Pid s = nw.create_process(NodeId(0));
+  soda::Pid c = nw.create_process(NodeId(1));
+  soda::Name name;
+  sim::Gate ready(e);
+  e.spawn("server", so_server(&nw, s, &name, &ready));
+  e.spawn("client", so_client(&nw, c, s, &name, &ready, rec.new_trace()));
+  e.run();
+
+  EXPECT_TRUE(check.ok()) << "seed " << seed << ": "
+                          << check.violations().front();
+  EXPECT_TRUE(e.process_failures().empty()) << "seed " << seed;
+  return {rec.digest(), fm.fault_digest(), rec.total_emitted()};
+}
+
+sim::Task<> ch_echo_serve(lynx::ThreadCtx& ctx, lynx::LinkHandle link, int n) {
+  ctx.enable_requests(link);
+  for (int i = 0; i < n; ++i) {
+    lynx::Incoming in = co_await ctx.receive();
+    lynx::Message rep;
+    rep.args = in.msg.args;
+    co_await ctx.reply(in, rep);
+  }
+}
+
+sim::Task<> ch_echo_drive(lynx::ThreadCtx& ctx, lynx::LinkHandle link, int n) {
+  for (int i = 0; i < n; ++i) {
+    lynx::Message req = lynx::make_message("echo", {std::int64_t(i)});
+    lynx::Message rep = co_await ctx.call(link, std::move(req));
+    CO_CHECK_EQ(std::get<std::int64_t>(rep.args[0]), i);
+  }
+}
+
+// A Chrysalis universe: LYNX echo over the shared-memory backend.  No
+// medium, so the seed enters through the engine's seeded-permutation
+// tie-break instead — schedule exploration over the backend's new event
+// sources (batched pump drains, the cheap-flag fast path, and — with
+// `v2` — the consumed-notice coalescing timers).  `v2` off runs the
+// one-notice-per-wakeup, post-consumed-immediately backend.
+RunResult run_chrysalis_universe(std::uint64_t seed, bool v2) {
+  sim::Engine e;
+  e.set_tie_policy(
+      {.kind = sim::TieBreak::kSeededPermutation, .seed = seed});
+  trace::Recorder rec(e);
+  chrysalis::Kernel kernel(e);
+  lynx::ChrysalisBackendParams params;
+  params.batched_drain = v2;
+  params.consumed_coalesce_delay = v2 ? sim::msec(2) : sim::Duration(0);
+  lynx::Process server(e, "server",
+                       lynx::make_chrysalis_backend(kernel, NodeId(0), params));
+  lynx::Process client(e, "client",
+                       lynx::make_chrysalis_backend(kernel, NodeId(1), params));
+  server.start();
+  client.start();
+  lynx::LinkHandle server_end;
+  lynx::LinkHandle client_end;
+  e.spawn("connect", [](lynx::Process* sp, lynx::Process* cp,
+                        lynx::LinkHandle* se,
+                        lynx::LinkHandle* ce) -> sim::Task<> {
+    auto [a, b] = co_await lynx::ChrysalisBackend::connect(*sp, *cp);
+    *se = a;
+    *ce = b;
+  }(&server, &client, &server_end, &client_end));
+  e.run();
+  EXPECT_TRUE(server_end.valid() && client_end.valid());
+
+  server.spawn_thread("serve", [&](lynx::ThreadCtx& ctx) {
+    return ch_echo_serve(ctx, server_end, 4);
+  });
+  client.spawn_thread("drive", [&](lynx::ThreadCtx& ctx) {
+    return ch_echo_drive(ctx, client_end, 4);
+  });
+  e.run();
+
+  EXPECT_TRUE(e.process_failures().empty()) << "seed " << seed;
+  EXPECT_TRUE(server.thread_failures().empty()) << "seed " << seed;
+  EXPECT_TRUE(client.thread_failures().empty()) << "seed " << seed;
+  return {rec.digest(), 0, rec.total_emitted()};
+}
+
 // A loaded universe: an open-loop Poisson scenario on the SODA backend
 // with a Recorder watching the whole multi-client run.  Traced load is
 // the regime where nondeterminism would hide (hundreds of interleaved
@@ -257,6 +360,40 @@ TEST(TraceDeterminism, SweepSeedsReproduceDigests) {
     ASSERT_EQ(cfa.emitted, cfb.emitted) << "charlotte formation seed " << seed;
     EXPECT_NE(cfa.trace_digest, ca.trace_digest)
         << "formation left no mark on the stream, seed " << seed;
+
+    // The lossy SODA universe on each wire variant: v2 with the
+    // coalescing timer, v2 with immediate standalone acks, and the v1
+    // per-fragment-ack wire.  (run_universe above already covers the
+    // v2 default; these pin the knob-dependent event sources.)
+    const RunResult sna = run_soda_wire_universe(seed, true, false);
+    const RunResult snb = run_soda_wire_universe(seed, true, false);
+    ASSERT_EQ(sna.trace_digest, snb.trace_digest)
+        << "soda no-coalesce seed " << seed;
+    ASSERT_EQ(sna.fault_digest, snb.fault_digest)
+        << "soda no-coalesce seed " << seed;
+    ASSERT_EQ(sna.emitted, snb.emitted) << "soda no-coalesce seed " << seed;
+    const RunResult sva = run_soda_wire_universe(seed, false, false);
+    const RunResult svb = run_soda_wire_universe(seed, false, false);
+    ASSERT_EQ(sva.trace_digest, svb.trace_digest)
+        << "soda v1-wire seed " << seed;
+    ASSERT_EQ(sva.fault_digest, svb.fault_digest)
+        << "soda v1-wire seed " << seed;
+    ASSERT_EQ(sva.emitted, svb.emitted) << "soda v1-wire seed " << seed;
+
+    // The Chrysalis backend universes, v2 (batched drains + consumed
+    // coalescing) and v1 (one notice per wakeup, immediate consumed
+    // notices), under seeded-permutation schedule exploration.
+    const RunResult cha = run_chrysalis_universe(seed, /*v2=*/true);
+    const RunResult chb = run_chrysalis_universe(seed, /*v2=*/true);
+    ASSERT_EQ(cha.trace_digest, chb.trace_digest)
+        << "chrysalis v2 seed " << seed;
+    ASSERT_EQ(cha.emitted, chb.emitted) << "chrysalis v2 seed " << seed;
+    ASSERT_GT(cha.emitted, 0u) << "chrysalis v2 seed " << seed;
+    const RunResult c1a = run_chrysalis_universe(seed, /*v2=*/false);
+    const RunResult c1b = run_chrysalis_universe(seed, /*v2=*/false);
+    ASSERT_EQ(c1a.trace_digest, c1b.trace_digest)
+        << "chrysalis v1 seed " << seed;
+    ASSERT_EQ(c1a.emitted, c1b.emitted) << "chrysalis v1 seed " << seed;
 
     const RunResult la = run_load_universe(seed);
     const RunResult lb = run_load_universe(seed);

@@ -313,7 +313,10 @@ TEST_P(CrashTest, ServerCrashSurfacesAsExceptionEverywhere) {
           return [](ThreadCtx& c, LinkHandle l,
                     std::vector<std::string>* out) -> sim::Task<> {
             try {
-              for (int k = 0; k < 100; ++k) {
+              // Long enough that no substrate drains the burst before
+              // the 250 ms crash (the v2 fast paths finish 100 calls
+              // early on Chrysalis).
+              for (int k = 0; k < 400; ++k) {
                 Message req =
                     make_message("checksum", {std::int64_t(k), Bytes(10, 1)});
                 (void)co_await c.call(l, std::move(req));
