@@ -182,7 +182,7 @@ struct CapacityPeaks {
   }
 };
 
-CapacityPeaks capacity_report(bool smoke) {
+CapacityPeaks capacity_report(bool smoke, sweep::ThreadPool& pool) {
   table_header("E12: peak sustainable throughput (load::find_capacity)");
   std::printf("%-10s %12s %12s %14s\n", "backend", "peak rate", "delivered/s",
               "p99 bound ms");
@@ -192,6 +192,7 @@ CapacityPeaks capacity_report(bool smoke) {
     load::CapacityParams p;
     p.rate_lo = smoke ? 8.0 : 4.0;
     p.refine_iters = smoke ? 2 : 5;
+    p.pool = &pool;  // ladder probes fan out; the curve is bit-identical
     const load::CapacityResult cap =
         load::find_capacity(sub, base_scenario(smoke), p);
     peaks[static_cast<int>(sub)] = cap.peak_rate;
@@ -515,7 +516,7 @@ int main(int argc, char** argv) {
 
   sweep::ThreadPool pool;
   curves_report(smoke, pool);
-  const CapacityPeaks peaks = capacity_report(smoke);
+  const CapacityPeaks peaks = capacity_report(smoke, pool);
   payload_report(smoke, pool);
   formation_report(smoke, pool);
   traced_run(smoke);

@@ -25,6 +25,9 @@
 //   --smoke            CI budget: 10 seeds/universe instead of 100
 //   --seeds=N          explicit seed count
 //   --first-seed=N     start of the seed range (default 1)
+//   --threads=N        host threads for the sweeps (0 = all cores);
+//                      every phase prints its order-sensitive sweep
+//                      digest, which is identical for any N
 //   --skip-selftest    phase 1 only
 //   --repro-out=FILE   append repro-token JSON lines for every failure
 //   --replay=TOKEN     run ONE universe from a repro token and report
@@ -78,6 +81,7 @@ int replay(const std::string& token) {
 int main(int argc, char** argv) {
   std::uint64_t seeds = 100;
   std::uint64_t first_seed = 1;
+  unsigned threads = 1;
   bool selftest = true;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -90,6 +94,9 @@ int main(int argc, char** argv) {
       seeds = std::strtoull(arg.c_str() + 8, nullptr, 10);
     } else if (arg.rfind("--first-seed=", 0) == 0) {
       first_seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads = static_cast<unsigned>(
+          std::strtoul(arg.c_str() + 10, nullptr, 10));
     } else if (arg == "--skip-selftest") {
       selftest = false;
     } else if (arg.rfind("--repro-out=", 0) == 0) {
@@ -110,15 +117,17 @@ int main(int argc, char** argv) {
   check::ExploreOptions sweep;
   sweep.seeds = seeds;
   sweep.first_seed = first_seed;
+  sweep.threads = threads;
   sweep.plans = {check::PlanSpec::kNone, check::PlanSpec::kAckStorm,
                  check::PlanSpec::kBatchStorm};
   const check::ExploreResult swept = check::explore(sweep);
   std::printf(
       "{\"phase\":\"sweep\",\"runs\":%llu,\"shrink_runs\":%llu,"
-      "\"failures\":%zu}\n",
+      "\"failures\":%zu,\"digest\":\"%016llx\"}\n",
       static_cast<unsigned long long>(swept.runs),
       static_cast<unsigned long long>(swept.shrink_runs),
-      swept.failures.size());
+      swept.failures.size(),
+      static_cast<unsigned long long>(swept.sweep_digest));
   for (const check::FailureReport& f : swept.failures) {
     report_failure("sweep", f);
   }
@@ -130,6 +139,7 @@ int main(int argc, char** argv) {
     bug.substrates = {load::Substrate::kCharlotte};
     bug.seeds = seeds < 4 ? seeds : 4;  // one caught bug is enough
     bug.first_seed = first_seed;
+    bug.threads = threads;
     bug.plans = {check::PlanSpec::kAckStorm};
     bug.inject_reack_bug = true;
     const check::ExploreResult caught = check::explore(bug);
@@ -164,15 +174,17 @@ int main(int argc, char** argv) {
   rep.workload = check::Workload::kReplica;
   rep.seeds = seeds;
   rep.first_seed = first_seed;
+  rep.threads = threads;
   rep.plans = {check::PlanSpec::kNone, check::PlanSpec::kPrimaryCrash,
                check::PlanSpec::kPrimaryBounce, check::PlanSpec::kBackupBounce};
   const check::ExploreResult rep_swept = check::explore(rep);
   std::printf(
       "{\"phase\":\"replica-sweep\",\"runs\":%llu,\"shrink_runs\":%llu,"
-      "\"failures\":%zu}\n",
+      "\"failures\":%zu,\"digest\":\"%016llx\"}\n",
       static_cast<unsigned long long>(rep_swept.runs),
       static_cast<unsigned long long>(rep_swept.shrink_runs),
-      rep_swept.failures.size());
+      rep_swept.failures.size(),
+      static_cast<unsigned long long>(rep_swept.sweep_digest));
   for (const check::FailureReport& f : rep_swept.failures) {
     report_failure("replica-sweep", f);
   }
@@ -188,10 +200,11 @@ int main(int argc, char** argv) {
   const check::ExploreResult repf_swept = check::explore(repf);
   std::printf(
       "{\"phase\":\"replica-formation\",\"runs\":%llu,\"shrink_runs\":%llu,"
-      "\"failures\":%zu}\n",
+      "\"failures\":%zu,\"digest\":\"%016llx\"}\n",
       static_cast<unsigned long long>(repf_swept.runs),
       static_cast<unsigned long long>(repf_swept.shrink_runs),
-      repf_swept.failures.size());
+      repf_swept.failures.size(),
+      static_cast<unsigned long long>(repf_swept.sweep_digest));
   for (const check::FailureReport& f : repf_swept.failures) {
     report_failure("replica-formation", f);
   }
@@ -203,6 +216,7 @@ int main(int argc, char** argv) {
     stale.workload = check::Workload::kReplica;
     stale.seeds = seeds < 4 ? seeds : 4;
     stale.first_seed = first_seed;
+    stale.threads = threads;
     stale.plans = {check::PlanSpec::kNone};
     stale.inject_stale_bug = true;
     const check::ExploreResult caught = check::explore(stale);

@@ -1,8 +1,10 @@
 #include "check/explorer.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "charlotte/kernel.hpp"
@@ -17,6 +19,7 @@
 #include "replica/replica.hpp"
 #include "sim/random.hpp"
 #include "soda/kernel.hpp"
+#include "sweep/sweep.hpp"
 #include "trace/trace.hpp"
 
 namespace check {
@@ -582,7 +585,10 @@ RunConfig shrink(const RunConfig& failing, std::uint64_t* runs) {
 // ---- the sweep -------------------------------------------------------
 
 ExploreResult explore(const ExploreOptions& opts) {
-  ExploreResult res;
+  // Phase 1: materialize the cross product in its historical loop
+  // order.  The list, not the loop nest, is what runs — sequentially or
+  // fanned out — so both modes see identical configs in identical order.
+  std::vector<RunConfig> configs;
   for (load::Substrate substrate : opts.substrates) {
     for (PlanSpec plan : opts.plans) {
       // Plan applicability: ack-storm impairs a medium (Chrysalis has
@@ -613,21 +619,54 @@ ExploreResult explore(const ExploreOptions& opts) {
           cfg.inject_stale_bug =
               opts.inject_stale_bug && opts.workload == Workload::kReplica;
           cfg.formation = opts.formation;
-          ++res.runs;
-          RunVerdict verdict = run_one(cfg);
-          if (verdict.ok) continue;
-          FailureReport report;
-          report.config = cfg;
-          report.minimized =
-              opts.shrink_failures ? shrink(cfg, &res.shrink_runs) : cfg;
-          report.verdict = report.minimized.horizon == cfg.horizon
-                               ? std::move(verdict)
-                               : run_one(report.minimized);
-          res.failures.push_back(std::move(report));
+          configs.push_back(cfg);
         }
       }
     }
   }
+
+  // Phase 2: run every config.  run_one is a pure function of its
+  // RunConfig (one private Engine per call), so the fan-out is embarrassingly
+  // parallel; sweep::map returns verdicts in config order.
+  std::vector<RunVerdict> verdicts;
+  if (opts.threads == 1 || configs.size() < 2) {
+    verdicts.reserve(configs.size());
+    for (const RunConfig& cfg : configs) verdicts.push_back(run_one(cfg));
+  } else {
+    sweep::ThreadPool pool(opts.threads == 0
+                               ? std::max(1u, std::thread::hardware_concurrency())
+                               : opts.threads);
+    verdicts = sweep::map(
+        configs, [](const RunConfig& cfg) { return run_one(cfg); }, pool);
+  }
+
+  // Phase 3: digest + shrink, sequentially and in order — shrink probes
+  // share state (run counters) and their own bisection is inherently
+  // serial, so parallelism stops at the sweep boundary.
+  ExploreResult res;
+  res.runs = configs.size();
+  std::uint64_t digest = 1469598103934665603ull;  // FNV-1a offset basis
+  auto fold = [&digest](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      digest ^= (v >> (8 * i)) & 0xff;
+      digest *= 1099511628211ull;  // FNV prime
+    }
+  };
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const RunConfig& cfg = configs[i];
+    RunVerdict& verdict = verdicts[i];
+    fold(verdict.trace_digest);
+    if (verdict.ok) continue;
+    FailureReport report;
+    report.config = cfg;
+    report.minimized =
+        opts.shrink_failures ? shrink(cfg, &res.shrink_runs) : cfg;
+    report.verdict = report.minimized.horizon == cfg.horizon
+                         ? std::move(verdict)
+                         : run_one(report.minimized);
+    res.failures.push_back(std::move(report));
+  }
+  res.sweep_digest = digest;
   return res;
 }
 

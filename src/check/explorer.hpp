@@ -156,11 +156,22 @@ struct ExploreOptions {
   bool inject_stale_bug = false;  // replica universes only
   bool formation = false;         // arm RPC formation in every universe
   bool shrink_failures = true;
+  // Host threads for the sweep.  Each RunConfig is an independent
+  // single-threaded Engine, so the cross product fans out over a
+  // sweep::ThreadPool; results are consumed in config-list order and
+  // shrinking stays sequential, so every field of ExploreResult —
+  // sweep_digest included — is identical for any thread count.
+  // 0 = hardware concurrency.
+  unsigned threads = 1;
 };
 
 struct ExploreResult {
   std::uint64_t runs = 0;         // exploration runs (excl. shrink probes)
   std::uint64_t shrink_runs = 0;  // extra runs spent shrinking
+  // FNV-1a over every exploration run's trace digest, in sweep order.
+  // Two explores agree on this iff they saw the same universes produce
+  // the same traces — the value CI compares across thread counts.
+  std::uint64_t sweep_digest = 0;
   std::vector<FailureReport> failures;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "load/runner.hpp"
+#include "sweep/sweep.hpp"
 
 namespace load {
 namespace {
@@ -13,6 +14,17 @@ Report probe(Substrate substrate, const Scenario& base, double rate) {
   Scenario s = base;
   s.offered_rate = rate;
   return run_scenario(substrate, s);
+}
+
+// The geometric ladder the sequential search would walk: rate_lo, then
+// doublings up to rate_hi.  Probing it as one wave lets the walk replay
+// from precomputed reports.
+std::vector<double> ladder_rates(const CapacityParams& params) {
+  std::vector<double> rates;
+  for (double rate = params.rate_lo; rate <= params.rate_hi; rate *= 2.0) {
+    rates.push_back(rate);
+  }
+  return rates;
 }
 
 }  // namespace
@@ -27,8 +39,24 @@ CapacityResult find_capacity(Substrate substrate, Scenario base,
   const auto slack = static_cast<std::int64_t>(
       2 * base.clients * base.channels_per_client + 2);
 
+  // The ladder wave: with a pool, probe every rung up front in parallel
+  // and let the walk below replay over the reports; without one, probe
+  // lazily rung by rung.  Either way the walk stops at the first failure
+  // and later rungs never enter the curve, so the two modes agree bit
+  // for bit (every probe is an independent deterministic Engine).
+  const std::vector<double> rates = ladder_rates(params);
+  std::vector<Report> wave;
+  if (params.pool != nullptr) {
+    wave = sweep::map(
+        rates, [&](const double& rate) { return probe(substrate, base, rate); },
+        *params.pool);
+  }
+  auto ladder_report = [&](std::size_t i) {
+    return params.pool != nullptr ? wave[i] : probe(substrate, base, rates[i]);
+  };
+
   CapacityResult out;
-  const Report lo_rep = probe(substrate, base, params.rate_lo);
+  const Report lo_rep = ladder_report(0);
   out.p99_bound_ms = params.p99_bound_ms > 0.0
                          ? params.p99_bound_ms
                          : params.p99_multiplier * std::max(lo_rep.p99_ms, 0.1);
@@ -42,9 +70,9 @@ CapacityResult find_capacity(Substrate substrate, Scenario base,
   double lo = params.rate_lo;
   double hi = 0.0;
   Report best = lo_rep;
-  for (double rate = params.rate_lo * 2.0; rate <= params.rate_hi;
-       rate *= 2.0) {
-    const Report r = probe(substrate, base, rate);
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    const double rate = rates[i];
+    const Report r = ladder_report(i);
     const bool ok = sustains(r);
     out.curve.push_back({rate, r, ok});
     if (ok) {

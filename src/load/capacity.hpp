@@ -14,6 +14,10 @@
 #include "load/report.hpp"
 #include "load/scenario.hpp"
 
+namespace sweep {
+class ThreadPool;  // src/sweep/thread_pool.hpp
+}  // namespace sweep
+
 namespace load {
 
 struct CapacityParams {
@@ -25,6 +29,13 @@ struct CapacityParams {
   double rate_lo = 2.0;     // must be comfortably sustainable
   double rate_hi = 2048.0;  // search ceiling, requests/s
   int refine_iters = 5;     // log-space bisection steps after bracketing
+  // Optional sweep pool: when set, the whole geometric ladder is probed
+  // as one parallel wave (each probe is an independent Engine) and the
+  // sequential walk replays over the precomputed reports.  Probes past
+  // the first failure are discarded, so the result — curve included —
+  // is bit-identical to the sequential search.  Bisection stays
+  // sequential (each midpoint depends on the previous verdict).
+  sweep::ThreadPool* pool = nullptr;
 };
 
 struct RatePoint {

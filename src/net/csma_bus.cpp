@@ -48,13 +48,14 @@ void CsmaBus::try_transmit(Frame frame, bool is_broadcast, int attempt) {
   ++frames_;
   bytes_ += frame.payload_bytes;
   const sim::Duration service = clock_out_time(frame.payload_bytes);
-  engine_->schedule(service, [this, f = std::move(frame), is_broadcast] {
-    busy_ = false;
-    deliver(f, is_broadcast);
-  });
+  engine_->schedule(service,
+                    [this, f = std::move(frame), is_broadcast]() mutable {
+                      busy_ = false;
+                      deliver(std::move(f), is_broadcast);
+                    });
 }
 
-void CsmaBus::deliver(const Frame& frame, bool is_broadcast) {
+void CsmaBus::deliver(Frame frame, bool is_broadcast) {
   if (!is_broadcast) {
     if (params_.unicast_drop_prob > 0.0 &&
         rng_.next_bool(params_.unicast_drop_prob)) {
@@ -63,8 +64,10 @@ void CsmaBus::deliver(const Frame& frame, bool is_broadcast) {
     }
     auto it = handlers_.find(frame.dst);
     RELYNX_ASSERT(it != handlers_.end());
+    // Unicast: the frame moves end-to-end (its std::any body is never
+    // cloned); only broadcast fan-out below copies.
     engine_->schedule(params_.propagation,
-                      [h = &it->second, f = frame] { (*h)(f); });
+                      [h = &it->second, f = std::move(frame)] { (*h)(f); });
     return;
   }
   for (auto& [node, handler] : handlers_) {

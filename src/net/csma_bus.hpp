@@ -68,7 +68,7 @@ class CsmaBus final : public Medium {
 
  private:
   void try_transmit(Frame frame, bool is_broadcast, int attempt);
-  void deliver(const Frame& frame, bool is_broadcast);
+  void deliver(Frame frame, bool is_broadcast);
   void record_drop(const Frame& frame, NodeId receiver);
   [[nodiscard]] sim::Duration backoff_delay(int attempt);
 

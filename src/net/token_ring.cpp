@@ -34,18 +34,20 @@ void TokenRing::start_next() {
   ++frames_;
   bytes_ += frame.payload_bytes;
   const sim::Duration service = service_time(frame.payload_bytes);
-  engine_->schedule(service, [this, f = std::move(frame)] {
-    deliver(f);
+  engine_->schedule(service, [this, f = std::move(frame)]() mutable {
+    deliver(std::move(f));
     start_next();
   });
 }
 
-void TokenRing::deliver(const Frame& frame) {
+void TokenRing::deliver(Frame frame) {
   if (frame.dst.valid()) {
     auto it = handlers_.find(frame.dst);
     RELYNX_ASSERT(it != handlers_.end());
+    // Unicast: the frame moves end-to-end (its std::any body is never
+    // cloned); only broadcast fan-out below copies.
     engine_->schedule(params_.propagation,
-                      [h = &it->second, f = frame] { (*h)(f); });
+                      [h = &it->second, f = std::move(frame)] { (*h)(f); });
     return;
   }
   for (auto& [node, handler] : handlers_) {

@@ -48,7 +48,7 @@ class TokenRing final : public Medium {
 
  private:
   void start_next();
-  void deliver(const Frame& frame);
+  void deliver(Frame frame);
 
   sim::Engine* engine_;
   TokenRingParams params_;

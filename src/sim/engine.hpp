@@ -1,17 +1,38 @@
 // The deterministic discrete-event engine.
 //
-// One Engine per experiment.  Events are (time, sequence) ordered, so two
-// events at the same instant fire in scheduling order and a run is a pure
-// function of its inputs (seed and parameters).  Simulated "processes"
-// are Task<void> coroutines spawned onto the engine; everything they do
-// — sleeping, kernel calls, message waits — is expressed as awaitables
-// that park the coroutine and schedule its resumption.
+// One Engine per experiment.  Events are (time, key, seq) ordered, so two
+// events at the same instant fire in scheduling order (under the default
+// FIFO tie-break) and a run is a pure function of its inputs (seed and
+// parameters).  Simulated "processes" are Task<void> coroutines spawned
+// onto the engine; everything they do — sleeping, kernel calls, message
+// waits — is expressed as awaitables that park the coroutine and schedule
+// its resumption.
+//
+// The pending-event structure is two-level.  Event records live in a
+// chunked slab (stable addresses, freelist reuse): a record is
+// constructed once at schedule time and never moved again — the
+// containers below shuffle 4-byte indices and 32-byte sort keys, not
+// 100-byte closures.  Near-future events — almost everything a kernel
+// schedules: propagation delays, service times, zero-delay fairness
+// yields — land in a bucketed timer wheel (1.024 µs buckets, ~4.2 ms
+// window ahead of now) of intrusive singly-linked chains, where insert
+// is a head-link and pop scans an occupancy bitmap to the first live
+// bucket.  Events beyond the window (retransmit timers, warmup
+// deadlines) go to a binary-heap overflow of (time, key, seq, index)
+// entries; the pop path merges the wheel's candidate with the heap's
+// top under the same (time, key, seq) comparator, so the fire order is
+// bit-identical to a single global priority queue — the determinism
+// digests in tests/fault pin exactly that.  Oversized same-instant
+// bursts are spilled from their bucket into the heap rather than
+// rescanned, keeping pop amortized O(1) + O(log n) only for the spill.
 //
 // The engine is strictly single-threaded; host-level parallelism lives in
 // sweep::, which runs many independent Engines on a thread pool.
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
@@ -21,6 +42,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "sim/event_fn.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
 
@@ -64,20 +86,25 @@ struct TiePolicy {
 };
 
 // Cancellable handle to a scheduled event (retry timers and the like).
-// Cancelling tells the engine, which reclaims dead events eagerly (see
-// Engine::note_cancelled) instead of carrying their closures until fire
-// time — long chaos sweeps cancel thousands of retransmit timers.
+// A handle is a (slot, generation) ticket into the engine's timer-slot
+// pool: cancel and fire both retire the generation, so a stale handle
+// — cancelled twice, cancelled after fire, or outliving a shutdown —
+// is a cheap no-op instead of a use-after-free.  Handles must not be
+// used after the Engine itself is destroyed (they point into it); in
+// practice every handle lives in an object torn down alongside or
+// before its engine.
 class TimerHandle {
  public:
   TimerHandle() = default;
   void cancel();
-  [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+  [[nodiscard]] bool pending() const;
 
  private:
-  TimerHandle(Engine* engine, std::shared_ptr<bool> alive)
-      : engine_(engine), alive_(std::move(alive)) {}
+  TimerHandle(Engine* engine, std::uint32_t slot1, std::uint32_t gen)
+      : engine_(engine), slot1_(slot1), gen_(gen) {}
   Engine* engine_ = nullptr;
-  std::shared_ptr<bool> alive_;
+  std::uint32_t slot1_ = 0;  // slot index + 1; 0 = inert (default) handle
+  std::uint32_t gen_ = 0;
   friend class Engine;
 };
 
@@ -99,24 +126,28 @@ class Engine {
   [[nodiscard]] const TiePolicy& tie_policy() const { return tie_policy_; }
 
   // -- raw event interface --------------------------------------------
-  void schedule(Duration delay, std::function<void()> fn);
-  TimerHandle schedule_cancellable(Duration delay, std::function<void()> fn);
-  void schedule_at(Time t, std::function<void()> fn);
+  void schedule(Duration delay, EventFn fn);
+  TimerHandle schedule_cancellable(Duration delay, EventFn fn);
+  void schedule_at(Time t, EventFn fn);
 
   // -- run loop --------------------------------------------------------
   // Runs until the event queue is empty or `stop()` was called.
   void run();
   // Runs until simulated time would exceed `deadline`; events at exactly
-  // `deadline` still fire.  Returns true if the queue drained.
+  // `deadline` still fire.  Returns true if the queue drained — the
+  // drained check is authoritative, so a stop() racing the final event
+  // still reports a drained queue as true.
   bool run_until(Time deadline);
   // Fires a single event; returns false when the queue is empty.
   bool step();
   void stop() { stop_requested_ = true; }
   // Destroys every still-suspended spawned frame and drops the pending
-  // event queue, leaving the engine inert.  For owners whose processes
-  // must outlive frame teardown (frames reference process state in their
-  // local destructors): call this while those objects are still alive
-  // instead of relying on ~Engine, which may run after them.  Idempotent.
+  // event queue, leaving the engine inert.  Outstanding TimerHandles
+  // are invalidated (they report !pending() and cancel as a no-op).
+  // For owners whose processes must outlive frame teardown (frames
+  // reference process state in their local destructors): call this
+  // while those objects are still alive instead of relying on ~Engine,
+  // which may run after them.  Idempotent.
   void shutdown();
   // True once shutdown() has run: the engine is inert and rejects new
   // bootstrap work (lynx::connect_any checks this).
@@ -136,8 +167,14 @@ class Engine {
   // Events currently queued, including cancelled ones not yet reclaimed.
   // Exposed so tests can assert that cancellation does not accumulate
   // garbage across a long run.
-  [[nodiscard]] std::size_t queue_size() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queue_size() const {
+    return wheel_count_ + far_.size();
+  }
   [[nodiscard]] std::size_t cancelled_pending() const { return cancelled_; }
+  // Total events fired over the engine's lifetime (cancelled events are
+  // reclaimed, not fired).  bench_sim divides this by wall-clock time to
+  // report simulated-events-per-wall-second (the BENCH_SIM trajectory).
+  [[nodiscard]] std::uint64_t events_fired() const { return fired_; }
 
   // Awaitable: suspend the calling coroutine for `d` of simulated time.
   // d == 0 still yields through the event queue (a fairness point).
@@ -172,28 +209,119 @@ class Engine {
   [[nodiscard]] trace::Recorder* recorder() const { return recorder_; }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNil = ~0u;
+
+  // An event record in the slab.  `next` threads the record into its
+  // wheel-bucket chain (or the freelist once reclaimed); records
+  // referenced from the overflow heap are not chained.
+  struct Node {
     Time at;
     std::uint64_t seq;
     std::uint64_t key;  // same-instant tie-break (== seq under FIFO)
-    std::function<void()> fn;
-    std::shared_ptr<bool> alive;  // null for non-cancellable events
+    std::uint32_t next = kNil;
+    std::uint32_t slot1 = 0;  // cancellable: timer-slot index + 1
+    std::uint32_t gen = 0;    // generation the slot held when scheduled
+    EventFn fn;
+  };
+  // Sort key for the overflow heap; the record itself stays in the slab.
+  struct FarEntry {
+    Time at;
+    std::uint64_t seq;
+    std::uint64_t key;
+    std::uint32_t idx;
   };
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+    bool operator()(const FarEntry& a, const FarEntry& b) const {
       if (a.at != b.at) return a.at > b.at;
       if (a.key != b.key) return a.key > b.key;
       return a.seq > b.seq;
     }
   };
+  // True when a should fire later than b: the engine's one event order.
+  static bool fires_later(Time a_at, std::uint64_t a_key, std::uint64_t a_seq,
+                          Time b_at, std::uint64_t b_key,
+                          std::uint64_t b_seq) {
+    if (a_at != b_at) return a_at > b_at;
+    if (a_key != b_key) return a_key > b_key;
+    return a_seq > b_seq;
+  }
+  // A cancellable event's liveness ticket.  The generation bumps when
+  // the event fires, is cancelled, or the engine shuts down; a Node
+  // or TimerHandle whose gen no longer matches is dead.
+  struct TimerSlot {
+    std::uint32_t gen = 0;
+    bool armed = false;
+  };
+
+  // -- timer wheel geometry ---------------------------------------------
+  // 2^12 buckets of 2^10 ns: a ~4.19 ms forward window, wide enough for
+  // every media/service delay the kernels schedule.  Bucket index is the
+  // absolute bucket number masked into the ring; since every queued
+  // event lies within one window of now (enforced at insert), ring
+  // aliasing is unambiguous.
+  static constexpr int kBucketShift = 10;
+  static constexpr std::size_t kBuckets = 4096;
+  static constexpr std::size_t kBucketMask = kBuckets - 1;
+  static constexpr std::size_t kWords = kBuckets / 64;
+  // Buckets larger than this are spilled to the overflow heap at pop
+  // time instead of being min-scanned on every pop (same-instant
+  // spawn bursts would otherwise cost O(k^2)).
+  static constexpr std::size_t kSpillMax = 16;
+
+  // Slab geometry: chunked so record addresses are stable across growth
+  // (a callback being invoked in place must survive the slab growing
+  // under it).
+  static constexpr int kChunkShift = 10;
+  static constexpr std::size_t kChunkNodes = 1024;
+  static constexpr std::size_t kChunkMask = kChunkNodes - 1;
+
+  static std::uint64_t bucket_of(Time t) {
+    return static_cast<std::uint64_t>(t) >> kBucketShift;
+  }
+
+  [[nodiscard]] Node& node(std::uint32_t idx) {
+    return slab_[idx >> kChunkShift][idx & kChunkMask];
+  }
+  [[nodiscard]] const Node& node(std::uint32_t idx) const {
+    return slab_[idx >> kChunkShift][idx & kChunkMask];
+  }
+  [[nodiscard]] std::uint32_t alloc_node();
+  // Destroys the record's callable and returns the slot to the freelist.
+  void free_node(std::uint32_t idx) {
+    Node& n = node(idx);
+    n.fn.reset();
+    n.next = free_head_;
+    free_head_ = idx;
+  }
 
   [[nodiscard]] std::uint64_t tie_key(std::uint64_t seq) const;
-  void push_event(Event ev);
-  Event pop_event();
-  // Drops cancelled events sitting at the head of the queue; afterwards
-  // the head (if any) is live.  Returns false when the queue drained.
-  bool prune_head();
-  // Called by TimerHandle::cancel; rebuilds the heap without the dead
+  void push_event(Time at, std::uint64_t seq, EventFn&& fn, std::uint32_t slot1,
+                  std::uint32_t gen);
+  [[nodiscard]] bool node_dead(const Node& n) const {
+    return n.slot1 != 0 && slots_[n.slot1 - 1].gen != n.gen;
+  }
+  // Finds the next live event across wheel and overflow heap (pruning
+  // dead ones on the way) and caches its location; returns false when
+  // the queue drained.  Idempotent until the queue is mutated.
+  bool locate();
+  // Unlinks the located record and returns its slab index.
+  std::uint32_t take_located();
+  // Pops and runs the located event (caller has checked locate()).
+  void fire_located();
+  [[nodiscard]] std::uint64_t next_occupied(std::uint64_t from) const;
+  void mark_bucket(std::uint64_t b) {
+    occupied_[(b & kBucketMask) >> 6] |= 1ull << (b & 63);
+  }
+  void clear_bucket_mark(std::uint64_t b) {
+    occupied_[(b & kBucketMask) >> 6] &= ~(1ull << (b & 63));
+  }
+
+  [[nodiscard]] bool timer_pending(std::uint32_t slot1,
+                                   std::uint32_t gen) const {
+    return slot1 != 0 && slots_[slot1 - 1].gen == gen;
+  }
+  void timer_cancel(std::uint32_t slot1, std::uint32_t gen);
+  // Called on cancellation; rebuilds the queues without the dead
   // events once they outnumber the live ones.
   void note_cancelled();
   void compact();
@@ -210,11 +338,67 @@ class Engine {
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
   TiePolicy tie_policy_{};
   bool shut_down_ = false;
+
+  // Event-record slab: chunked storage plus an intrusive freelist.
+  std::vector<std::unique_ptr<Node[]>> slab_;
+  std::uint32_t slab_size_ = 0;
+  std::uint32_t free_head_ = kNil;
+
+  // Timer wheel: near-future events, one intrusive chain per bucket
+  // (selection within a bucket is by comparator, so chain order is
+  // free).
+  std::vector<std::uint32_t> bucket_head_ =
+      std::vector<std::uint32_t>(kBuckets, kNil);
+  std::array<std::uint64_t, kWords> occupied_{};
+  std::uint64_t cursor_ = 0;  // absolute bucket; all lower buckets empty
+  std::size_t wheel_count_ = 0;
+  // Overflow: events beyond the wheel window and spilled bursts.
   // Binary heap managed with std::push_heap/pop_heap so compact() can
   // filter the underlying vector (std::priority_queue hides it).
-  std::vector<Event> queue_;
+  std::vector<FarEntry> far_;
+
+  // Cached pop candidate (locate() fills): lets run_until peek at the
+  // next fire time and then take it without a second scan, and survives
+  // pushes of later-firing events — push_event either retargets the
+  // cache at the new event (if it fires earlier, it IS the new minimum)
+  // or keeps it with one comparator call, so the fire→reschedule cycle
+  // of a steady-state workload never rescans the wheel.  Only a
+  // cancellation of the cached event itself or a compact() forces a
+  // rescan.
+  enum class LocKind : std::uint8_t { kNone, kWheel, kFar };
+  bool loc_valid_ = false;
+  LocKind loc_kind_ = LocKind::kNone;
+  std::uint64_t loc_bucket_ = 0;   // absolute bucket of the candidate
+  std::uint32_t loc_idx_ = kNil;   // slab index of the candidate
+  std::uint32_t loc_prev_ = kNil;  // chain predecessor (kNil = head)
+  Time loc_time_ = 0;
+  std::uint64_t loc_key_ = 0;      // candidate's tie key and sequence,
+  std::uint64_t loc_seq_ = 0;      // kept so pushes can compare cheaply
+
+  // Wheel-front cache: what the last chain scan learned about the
+  // lowest occupied bucket.  w1 is the comparator minimum of the whole
+  // wheel (bucket order is time order, so the front bucket's minimum
+  // beats every later bucket); w2 is the runner-up within that same
+  // bucket — kNone means w1 is alone, kUnknown means untracked live
+  // events remain and the bucket must be rescanned when w1 goes.
+  // Pushes and pops maintain this in O(1), so the steady-state
+  // fire→reschedule cycle touches chains only when the front bucket
+  // drains.
+  enum class W2 : std::uint8_t { kNone, kKnown, kUnknown };
+  bool wf_valid_ = false;
+  bool w2_more_ = false;  // bucket held live events beyond w1 and w2
+  W2 w2_state_ = W2::kNone;
+  std::uint64_t wf_bucket_ = 0;
+  std::uint32_t w1_idx_ = kNil;
+  std::uint32_t w1_prev_ = kNil;
+  std::uint32_t w2_idx_ = kNil;
+  std::uint32_t w2_prev_ = kNil;
+
+  std::vector<TimerSlot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::size_t cancelled_ = 0;
   bool stop_requested_ = false;
 
@@ -227,10 +411,11 @@ class Engine {
 };
 
 inline void TimerHandle::cancel() {
-  if (alive_ && *alive_) {
-    *alive_ = false;
-    if (engine_ != nullptr) engine_->note_cancelled();
-  }
+  if (engine_ != nullptr) engine_->timer_cancel(slot1_, gen_);
+}
+
+inline bool TimerHandle::pending() const {
+  return engine_ != nullptr && engine_->timer_pending(slot1_, gen_);
 }
 
 struct Engine::Root::promise_type {
@@ -250,6 +435,13 @@ struct Engine::Root::promise_type {
   std::suspend_always initial_suspend() noexcept { return {}; }
   std::suspend_never final_suspend() noexcept { return {}; }
   void return_void() {}
+  // Root frames recycle through the same pool as Task frames.
+  static void* operator new(std::size_t n) {
+    return detail::CallablePool::allocate(n);
+  }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    detail::CallablePool::release(p, n);
+  }
   void unhandled_exception() {
     // drive() catches everything; reaching here is a bug.
     RELYNX_ASSERT_MSG(false, "engine root leaked an exception");

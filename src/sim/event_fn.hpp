@@ -1,0 +1,191 @@
+// EventFn: the engine's event callback.
+//
+// A move-only type-erased callable sized for the discrete-event hot
+// path.  std::function was measured to heap-allocate for nearly every
+// event the media and kernels schedule (its small-buffer is 16 bytes;
+// a frame-delivery closure — FrameHandler* plus a moved net::Frame —
+// is 64), so each simulated event paid an allocator round trip before
+// any work happened.  EventFn gives those closures 64 bytes of inline
+// storage, and routes the rare oversized capture through a
+// thread-local size-class freelist so even the spill path stops
+// touching the global allocator in steady state.
+//
+// Engines are strictly single-threaded, so a thread-local pool is
+// exactly one pool per engine-carrying worker (sweep:: runs one engine
+// per thread); block reuse order cannot alter simulation behaviour
+// because no simulated decision reads an address.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace sim {
+namespace detail {
+
+// Freelist of heap blocks for callables that do not fit inline,
+// bucketed by 64-byte size class.  Blocks above 1 KiB (no simulated
+// workload produces one) fall through to operator new directly.
+class CallablePool {
+ public:
+  static constexpr std::size_t kStride = 64;
+  static constexpr std::size_t kClasses = 16;
+  static constexpr std::size_t kBinCap = 128;  // blocks kept per class
+
+  static void* allocate(std::size_t bytes) {
+    const std::size_t cls = (bytes + kStride - 1) / kStride;
+    if (cls == 0 || cls > kClasses) return ::operator new(bytes);
+    std::vector<void*>& bin = bins()[cls - 1];
+    if (!bin.empty()) {
+      void* p = bin.back();
+      bin.pop_back();
+      return p;
+    }
+    return ::operator new(cls * kStride);
+  }
+
+  static void release(void* p, std::size_t bytes) noexcept {
+    const std::size_t cls = (bytes + kStride - 1) / kStride;
+    if (cls == 0 || cls > kClasses) {
+      ::operator delete(p);
+      return;
+    }
+    std::vector<void*>& bin = bins()[cls - 1];
+    if (bin.size() < kBinCap && bin.capacity() > bin.size()) {
+      bin.push_back(p);
+      return;
+    }
+    if (bin.size() < kBinCap) {
+      // Growing the bin allocates; keep that out of the noexcept path
+      // by reserving first (terminate on OOM is acceptable here).
+      bin.reserve(kBinCap);
+      bin.push_back(p);
+      return;
+    }
+    ::operator delete(p);
+  }
+
+ private:
+  struct Bins {
+    std::vector<void*> by_class[kClasses];
+    ~Bins() {
+      for (std::vector<void*>& bin : by_class)
+        for (void* p : bin) ::operator delete(p);
+    }
+  };
+  static std::vector<void*>* bins() {
+    thread_local Bins tls;
+    return tls.by_class;
+  }
+};
+
+}  // namespace detail
+
+class EventFn {
+ public:
+  // Sized so a frame-delivery closure (handler pointer + net::Frame)
+  // stays inline; see the header comment.  Alignment is capped at
+  // pointer grain to keep the engine's event records compact — the
+  // rare over-aligned capture takes the heap path.
+  static constexpr std::size_t kInlineSize = 64;
+  static constexpr std::size_t kInlineAlign = alignof(void*);
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable wrapper
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize && alignof(Fn) <= kInlineAlign &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      void* block = detail::CallablePool::allocate(sizeof(Fn));
+      ::new (block) Fn(std::forward<F>(f));
+      *reinterpret_cast<void**>(buf_) = block;
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, other.buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move-construct into dst from src's storage, then destroy src's
+    // residue.  Lets containers of EventFn relocate without knowing
+    // the erased type.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static Fn* as(void* buf) noexcept {
+    return std::launder(reinterpret_cast<Fn*>(buf));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* buf) { (*as<Fn>(buf))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn(std::move(*as<Fn>(src)));
+        as<Fn>(src)->~Fn();
+      },
+      [](void* buf) noexcept { as<Fn>(buf)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* buf) { (**reinterpret_cast<Fn**>(buf))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
+      },
+      [](void* buf) noexcept {
+        Fn* p = *reinterpret_cast<Fn**>(buf);
+        p->~Fn();
+        detail::CallablePool::release(p, sizeof(Fn));
+      },
+  };
+
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace sim

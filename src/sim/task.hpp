@@ -13,11 +13,13 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <utility>
 #include <variant>
 
 #include "common/assert.hpp"
+#include "sim/event_fn.hpp"
 
 namespace sim {
 
@@ -41,6 +43,18 @@ struct PromiseBase {
 
   std::suspend_always initial_suspend() noexcept { return {}; }
   FinalAwaiter final_suspend() noexcept { return {}; }
+
+  // Coroutine frames are the dominant allocation of a simulated run
+  // (every kernel routine is a Task); route them through the same
+  // thread-local freelist the engine uses for oversized event
+  // closures, so a steady-state workload recycles a handful of warm
+  // blocks instead of hammering the global allocator.
+  static void* operator new(std::size_t n) {
+    return CallablePool::allocate(n);
+  }
+  static void operator delete(void* p, std::size_t n) noexcept {
+    CallablePool::release(p, n);
+  }
 };
 
 }  // namespace detail

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 #include "sweep/thread_pool.hpp"
@@ -34,6 +35,25 @@ template <typename P, typename R>
                                  std::function<R(const P&)> fn) {
   ThreadPool pool;
   return map<P, R>(points, std::move(fn), pool);
+}
+
+// Generalized overload: any callable, result type deduced — the shape
+// capacity searches and the explorer use (the std::function overloads
+// above predate it and stay for the explicit-argument call sites).
+template <typename P, typename F,
+          typename R = std::invoke_result_t<F&, const P&>,
+          typename = std::enable_if_t<std::is_invocable_v<F&, const P&>>>
+[[nodiscard]] std::vector<R> map(const std::vector<P>& points, F fn,
+                                 ThreadPool& pool) {
+  std::vector<std::future<R>> futures;
+  futures.reserve(points.size());
+  for (const P& p : points) {
+    futures.push_back(pool.enqueue([&fn, p] { return fn(p); }));
+  }
+  std::vector<R> out;
+  out.reserve(points.size());
+  for (auto& f : futures) out.push_back(f.get());
+  return out;
 }
 
 }  // namespace sweep

@@ -6,6 +6,7 @@
 // independent Engines (seeds, sweep points) concurrently.
 #pragma once
 
+#include <algorithm>  // std::max (used in the default thread count)
 #include <condition_variable>
 #include <deque>
 #include <functional>

@@ -206,6 +206,24 @@ TEST(Explorer, SweepIsCleanAcrossSubstratesPoliciesAndPlans) {
   }
 }
 
+TEST(Explorer, ParallelSweepMatchesSequentialSweep) {
+  // ExploreOptions::threads fans run_one out over a host thread pool;
+  // every field of the result — run counts, the order-sensitive sweep
+  // digest, and any failures — must be identical for any thread count,
+  // because each RunConfig runs on its own private Engine.
+  ExploreOptions opts;
+  opts.seeds = 4;
+  opts.plans = {PlanSpec::kNone, PlanSpec::kAckStorm};
+  const ExploreResult seq = explore(opts);
+  opts.threads = 4;
+  const ExploreResult par = explore(opts);
+  EXPECT_EQ(par.runs, seq.runs);
+  EXPECT_EQ(par.shrink_runs, seq.shrink_runs);
+  EXPECT_EQ(par.sweep_digest, seq.sweep_digest);
+  EXPECT_NE(par.sweep_digest, 0u);
+  EXPECT_EQ(par.failures.size(), seq.failures.size());
+}
+
 TEST(Explorer, ExploreCatchesAndMinimizesPlantedBug) {
   ExploreOptions opts;
   opts.substrates = {load::Substrate::kCharlotte};

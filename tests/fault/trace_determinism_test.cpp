@@ -22,6 +22,7 @@
 #include "net/token_ring.hpp"
 #include "sim/engine.hpp"
 #include "soda/kernel.hpp"
+#include "sweep/sweep.hpp"
 #include "trace/trace.hpp"
 
 namespace fault {
@@ -298,50 +299,91 @@ RunResult run_load_universe(std::uint64_t seed, bool formation = false) {
   return {rec.digest(), 0, rec.total_emitted()};
 }
 
-TEST(TraceDeterminism, SweepSeedsReproduceDigests) {
+// Every universe variant in the sweep, one run each.  One SeedDigests
+// is one seed's worth of the sweep; the test below produces it twice —
+// once fanned out over a sweep::ThreadPool, once sequentially — and the
+// two must agree field for field.  (Universes are fully independent:
+// one Engine each, and the only cross-engine state in src/ is the
+// thread-local callable pool.)
+struct SeedDigests {
+  RunResult chaos;      // lossy SODA, FIFO tie-break
+  RunResult perm;       // same universe, seeded-permutation tie-break
+  RunResult ch;         // lossy Charlotte, ack piggybacking ON
+  RunResult ch_v1;      // ... piggybacking OFF (v1 wire)
+  RunResult ch_form;    // ... with RPC formation armed
+  RunResult soda_nc;    // lossy SODA v2 wire, no coalescing
+  RunResult soda_v1;    // lossy SODA v1 per-fragment-ack wire
+  RunResult chry_v2;    // Chrysalis backend, batched drains + coalescing
+  RunResult chry_v1;    // Chrysalis backend, v1 notices
+  RunResult load;       // open-loop Poisson load on SODA
+  RunResult load_form;  // ... with RPC formation
+};
+
+SeedDigests run_seed(std::uint64_t seed) {
+  SeedDigests d;
+  d.chaos = run_universe(seed);
+  d.perm = run_universe(seed, sim::TieBreak::kSeededPermutation);
+  d.ch = run_charlotte_universe(seed, /*coalesce=*/true);
+  d.ch_v1 = run_charlotte_universe(seed, /*coalesce=*/false);
+  d.ch_form =
+      run_charlotte_universe(seed, /*coalesce=*/true, /*formation=*/true);
+  d.soda_nc = run_soda_wire_universe(seed, /*v2=*/true, /*coalesce=*/false);
+  d.soda_v1 = run_soda_wire_universe(seed, /*v2=*/false, /*coalesce=*/false);
+  d.chry_v2 = run_chrysalis_universe(seed, /*v2=*/true);
+  d.chry_v1 = run_chrysalis_universe(seed, /*v2=*/false);
+  d.load = run_load_universe(seed);
+  d.load_form = run_load_universe(seed, /*formation=*/true);
+  return d;
+}
+
+void expect_same(const RunResult& a, const RunResult& b, const char* what,
+                 std::uint64_t seed) {
+  EXPECT_EQ(a.trace_digest, b.trace_digest) << what << " seed " << seed;
+  EXPECT_EQ(a.fault_digest, b.fault_digest) << what << " seed " << seed;
+  EXPECT_EQ(a.emitted, b.emitted) << what << " seed " << seed;
+}
+
+TEST(TraceDeterminism, SweepSeedsReproduceDigestsUnderAnyParallelism) {
   // Every universe in the sweep, run twice: same (seed, plan) => same
   // trace digest AND same fault digest, every time.  Different seeds
-  // must not collapse onto one stream.
+  // must not collapse onto one stream.  The two runs happen under
+  // maximally different host schedules — wave A shards seeds across a
+  // thread pool (several engines in flight at once), wave B replays the
+  // whole sweep sequentially on this thread — because the digests are
+  // the evidence that host parallelism cannot leak into a simulation.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) seeds.push_back(seed);
+
+  sweep::ThreadPool pool(4);
+  const std::vector<SeedDigests> wave_a = sweep::map(
+      seeds, [](const std::uint64_t& seed) { return run_seed(seed); }, pool);
+
   std::set<std::uint64_t> distinct;
   std::set<std::uint64_t> distinct_load;
   std::set<std::uint64_t> distinct_charlotte;
-  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
-    const RunResult a = run_universe(seed);
-    const RunResult b = run_universe(seed);
-    ASSERT_EQ(a.trace_digest, b.trace_digest) << "seed " << seed;
-    ASSERT_EQ(a.fault_digest, b.fault_digest) << "seed " << seed;
-    ASSERT_EQ(a.emitted, b.emitted) << "seed " << seed;
-    ASSERT_GT(a.emitted, 0u) << "seed " << seed;
-    ASSERT_NE(a.trace_digest, trace::Recorder::kEmptyDigest)
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const std::uint64_t seed = seeds[i];
+    const SeedDigests& a = wave_a[i];
+    const SeedDigests b = run_seed(seed);
+
+    expect_same(a.chaos, b.chaos, "chaos", seed);
+    ASSERT_GT(a.chaos.emitted, 0u) << "seed " << seed;
+    ASSERT_NE(a.chaos.trace_digest, trace::Recorder::kEmptyDigest)
         << "seed " << seed;
-    distinct.insert(a.trace_digest);
+    distinct.insert(a.chaos.trace_digest);
 
     // The same universe under seeded-permutation tie-break: still a pure
     // function of (seed, plan, policy), run after run.  The explorer's
     // shrinker and repro tokens depend on exactly this property.
-    const RunResult pa = run_universe(seed, sim::TieBreak::kSeededPermutation);
-    const RunResult pb = run_universe(seed, sim::TieBreak::kSeededPermutation);
-    ASSERT_EQ(pa.trace_digest, pb.trace_digest) << "perm seed " << seed;
-    ASSERT_EQ(pa.fault_digest, pb.fault_digest) << "perm seed " << seed;
-    ASSERT_EQ(pa.emitted, pb.emitted) << "perm seed " << seed;
+    expect_same(a.perm, b.perm, "perm", seed);
 
     // The Charlotte lossy universe, piggybacking ON and OFF: the owed-ack
     // coalescing timer and the adaptive retransmit machinery must not
     // introduce schedule-dependent state.
-    const RunResult ca = run_charlotte_universe(seed, /*coalesce=*/true);
-    const RunResult cb = run_charlotte_universe(seed, /*coalesce=*/true);
-    ASSERT_EQ(ca.trace_digest, cb.trace_digest) << "charlotte seed " << seed;
-    ASSERT_EQ(ca.fault_digest, cb.fault_digest) << "charlotte seed " << seed;
-    ASSERT_EQ(ca.emitted, cb.emitted) << "charlotte seed " << seed;
-    ASSERT_GT(ca.emitted, 0u) << "charlotte seed " << seed;
-    distinct_charlotte.insert(ca.trace_digest);
-    const RunResult cv1a = run_charlotte_universe(seed, /*coalesce=*/false);
-    const RunResult cv1b = run_charlotte_universe(seed, /*coalesce=*/false);
-    ASSERT_EQ(cv1a.trace_digest, cv1b.trace_digest)
-        << "charlotte v1-wire seed " << seed;
-    ASSERT_EQ(cv1a.fault_digest, cv1b.fault_digest)
-        << "charlotte v1-wire seed " << seed;
-    ASSERT_EQ(cv1a.emitted, cv1b.emitted) << "charlotte v1-wire seed " << seed;
+    expect_same(a.ch, b.ch, "charlotte", seed);
+    ASSERT_GT(a.ch.emitted, 0u) << "charlotte seed " << seed;
+    distinct_charlotte.insert(a.ch.trace_digest);
+    expect_same(a.ch_v1, b.ch_v1, "charlotte v1-wire", seed);
 
     // Lossy Charlotte with RPC formation armed (DESIGN.md §14): batch
     // deadline timers, shared-frame dispatch, and whole-batch drops all
@@ -349,67 +391,32 @@ TEST(TraceDeterminism, SweepSeedsReproduceDigests) {
     // bit-identical run over run — and the stream must actually differ
     // from the frame-per-message wire (formation changes what the
     // recorder sees, not just internal counters).
-    const RunResult cfa =
-        run_charlotte_universe(seed, /*coalesce=*/true, /*formation=*/true);
-    const RunResult cfb =
-        run_charlotte_universe(seed, /*coalesce=*/true, /*formation=*/true);
-    ASSERT_EQ(cfa.trace_digest, cfb.trace_digest)
-        << "charlotte formation seed " << seed;
-    ASSERT_EQ(cfa.fault_digest, cfb.fault_digest)
-        << "charlotte formation seed " << seed;
-    ASSERT_EQ(cfa.emitted, cfb.emitted) << "charlotte formation seed " << seed;
-    EXPECT_NE(cfa.trace_digest, ca.trace_digest)
+    expect_same(a.ch_form, b.ch_form, "charlotte formation", seed);
+    EXPECT_NE(a.ch_form.trace_digest, a.ch.trace_digest)
         << "formation left no mark on the stream, seed " << seed;
 
     // The lossy SODA universe on each wire variant: v2 with the
     // coalescing timer, v2 with immediate standalone acks, and the v1
     // per-fragment-ack wire.  (run_universe above already covers the
     // v2 default; these pin the knob-dependent event sources.)
-    const RunResult sna = run_soda_wire_universe(seed, true, false);
-    const RunResult snb = run_soda_wire_universe(seed, true, false);
-    ASSERT_EQ(sna.trace_digest, snb.trace_digest)
-        << "soda no-coalesce seed " << seed;
-    ASSERT_EQ(sna.fault_digest, snb.fault_digest)
-        << "soda no-coalesce seed " << seed;
-    ASSERT_EQ(sna.emitted, snb.emitted) << "soda no-coalesce seed " << seed;
-    const RunResult sva = run_soda_wire_universe(seed, false, false);
-    const RunResult svb = run_soda_wire_universe(seed, false, false);
-    ASSERT_EQ(sva.trace_digest, svb.trace_digest)
-        << "soda v1-wire seed " << seed;
-    ASSERT_EQ(sva.fault_digest, svb.fault_digest)
-        << "soda v1-wire seed " << seed;
-    ASSERT_EQ(sva.emitted, svb.emitted) << "soda v1-wire seed " << seed;
+    expect_same(a.soda_nc, b.soda_nc, "soda no-coalesce", seed);
+    expect_same(a.soda_v1, b.soda_v1, "soda v1-wire", seed);
 
     // The Chrysalis backend universes, v2 (batched drains + consumed
     // coalescing) and v1 (one notice per wakeup, immediate consumed
     // notices), under seeded-permutation schedule exploration.
-    const RunResult cha = run_chrysalis_universe(seed, /*v2=*/true);
-    const RunResult chb = run_chrysalis_universe(seed, /*v2=*/true);
-    ASSERT_EQ(cha.trace_digest, chb.trace_digest)
-        << "chrysalis v2 seed " << seed;
-    ASSERT_EQ(cha.emitted, chb.emitted) << "chrysalis v2 seed " << seed;
-    ASSERT_GT(cha.emitted, 0u) << "chrysalis v2 seed " << seed;
-    const RunResult c1a = run_chrysalis_universe(seed, /*v2=*/false);
-    const RunResult c1b = run_chrysalis_universe(seed, /*v2=*/false);
-    ASSERT_EQ(c1a.trace_digest, c1b.trace_digest)
-        << "chrysalis v1 seed " << seed;
-    ASSERT_EQ(c1a.emitted, c1b.emitted) << "chrysalis v1 seed " << seed;
+    expect_same(a.chry_v2, b.chry_v2, "chrysalis v2", seed);
+    ASSERT_GT(a.chry_v2.emitted, 0u) << "chrysalis v2 seed " << seed;
+    expect_same(a.chry_v1, b.chry_v1, "chrysalis v1", seed);
 
-    const RunResult la = run_load_universe(seed);
-    const RunResult lb = run_load_universe(seed);
-    ASSERT_EQ(la.trace_digest, lb.trace_digest) << "load seed " << seed;
-    ASSERT_EQ(la.emitted, lb.emitted) << "load seed " << seed;
-    ASSERT_GT(la.emitted, 0u) << "load seed " << seed;
-    distinct_load.insert(la.trace_digest);
+    expect_same(a.load, b.load, "load", seed);
+    ASSERT_GT(a.load.emitted, 0u) << "load seed " << seed;
+    distinct_load.insert(a.load.trace_digest);
 
     // The clean loaded universe with formation on: open-loop SODA RPCs
     // sharing frames, double-run to the same digest.
-    const RunResult lfa = run_load_universe(seed, /*formation=*/true);
-    const RunResult lfb = run_load_universe(seed, /*formation=*/true);
-    ASSERT_EQ(lfa.trace_digest, lfb.trace_digest)
-        << "load formation seed " << seed;
-    ASSERT_EQ(lfa.emitted, lfb.emitted) << "load formation seed " << seed;
-    ASSERT_GT(lfa.emitted, 0u) << "load formation seed " << seed;
+    expect_same(a.load_form, b.load_form, "load formation", seed);
+    ASSERT_GT(a.load_form.emitted, 0u) << "load formation seed " << seed;
   }
   // Chaos differs per seed, so the streams (almost) all differ too.
   EXPECT_GT(distinct.size(), 90u);

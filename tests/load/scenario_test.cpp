@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "load/load.hpp"
+#include "sweep/sweep.hpp"
 
 namespace load {
 namespace {
@@ -137,6 +138,37 @@ TEST(LoadTest, CapacitySearchFindsFiniteKnee) {
     saw_unsustainable |= !pt.sustainable;
   }
   EXPECT_TRUE(saw_unsustainable);
+}
+
+TEST(LoadTest, ParallelCapacitySearchIsBitIdentical) {
+  // CapacityParams::pool probes the geometric ladder as one parallel
+  // wave and replays the sequential walk over the precomputed reports;
+  // the result — probe set, verdicts, knee, curve order — must match
+  // the sequential search exactly, point for point.
+  Scenario sc = quick_scenario();
+  sc.arrival = Arrival::kOpenPoisson;
+  CapacityParams p;
+  p.rate_lo = 8.0;
+  p.rate_hi = 4096.0;
+  p.refine_iters = 2;
+  const CapacityResult seq = find_capacity(Substrate::kChrysalis, sc, p);
+  sweep::ThreadPool pool(4);
+  p.pool = &pool;
+  const CapacityResult par = find_capacity(Substrate::kChrysalis, sc, p);
+
+  EXPECT_EQ(par.peak_rate, seq.peak_rate);
+  EXPECT_EQ(par.peak_throughput, seq.peak_throughput);
+  EXPECT_EQ(par.p99_bound_ms, seq.p99_bound_ms);
+  ASSERT_EQ(par.curve.size(), seq.curve.size());
+  for (std::size_t i = 0; i < seq.curve.size(); ++i) {
+    EXPECT_EQ(par.curve[i].rate, seq.curve[i].rate) << "point " << i;
+    EXPECT_EQ(par.curve[i].sustainable, seq.curve[i].sustainable)
+        << "point " << i;
+    EXPECT_EQ(par.curve[i].report.throughput, seq.curve[i].report.throughput)
+        << "point " << i;
+    EXPECT_EQ(par.curve[i].report.p99_ms, seq.curve[i].report.p99_ms)
+        << "point " << i;
+  }
 }
 
 }  // namespace
